@@ -1,0 +1,97 @@
+// Command abacus-kdt assembles and inspects kernel description tables, the
+// ELF-like executable objects FlashAbacus offloads (paper §4 "Kernel").
+//
+// Usage:
+//
+//	abacus-kdt -build ATAX -scale 16 -out atax.kdt   # assemble a table
+//	abacus-kdt -dump atax.kdt                        # decode and print one
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kdt"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	build := flag.String("build", "", "assemble a table for this Table 2 application")
+	out := flag.String("out", "", "output file for -build")
+	dump := flag.String("dump", "", "decode and print a .kdt file")
+	scale := flag.Int64("scale", 16, "input-size divisor for -build")
+	flag.Parse()
+
+	if err := run(*build, *out, *dump, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "abacus-kdt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(build, out, dump string, scale int64) error {
+	switch {
+	case build != "":
+		o := workload.DefaultOptions()
+		o.Scale = scale
+		b, err := workload.Homogeneous(build, o)
+		if err != nil {
+			return err
+		}
+		blob, err := b.Apps[0].Tables[0].Encode()
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			out = build + ".kdt"
+		}
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", out, len(blob))
+		return nil
+	case dump != "":
+		blob, err := os.ReadFile(dump)
+		if err != nil {
+			return err
+		}
+		tab, err := kdt.Decode(blob)
+		if err != nil {
+			return err
+		}
+		print(tab)
+		return nil
+	default:
+		return fmt.Errorf("need -build NAME or -dump FILE")
+	}
+}
+
+func print(t *kdt.Table) {
+	fmt.Printf("kernel %q (app %d, kernel %d)\n", t.Name, t.AppID, t.KernelID)
+	for _, s := range t.Sections {
+		fmt.Printf("  section %-10s addr %#010x size %s\n", s.Name, s.Addr, units.FormatBytes(s.Size))
+	}
+	for mi, mb := range t.Microblocks {
+		kind := "parallel"
+		if mb.Serial() {
+			kind = "serial"
+		}
+		fmt.Printf("  microblock %d (%s, %d screens)\n", mi, kind, len(mb.Screens))
+		for si, scr := range mb.Screens {
+			fmt.Printf("    screen %d:\n", si)
+			for _, op := range scr.Ops {
+				switch op.Kind {
+				case kdt.OpRead, kdt.OpWrite:
+					fmt.Printf("      %-7s sec=%d flash=%#x bytes=%s\n",
+						op.Kind, op.Section, op.FlashAddr, units.FormatBytes(op.Bytes))
+				case kdt.OpCompute:
+					fmt.Printf("      %-7s instr=%d mul=%.1f%% ldst=%.1f%%\n",
+						op.Kind, op.Instr, float64(op.MulMilli)/10, float64(op.LdStMilli)/10)
+				case kdt.OpExec:
+					fmt.Printf("      %-7s builtin=%d arg=%d\n", op.Kind, op.Builtin, op.Arg)
+				}
+			}
+		}
+	}
+}

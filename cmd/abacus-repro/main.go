@@ -1,0 +1,109 @@
+// Command abacus-repro regenerates every table and figure of the paper's
+// evaluation and prints them as ASCII tables.
+//
+// Usage:
+//
+//	abacus-repro [-scale N] [-experiment id]
+//
+// scale divides the Table 2 input sizes (1 = paper scale; the default 16
+// finishes in well under a minute). Experiment ids: t1 t2 mixes fig3b fig3c
+// fig3d fig3e fig10a fig10b fig11a fig11b fig12 fig13a fig13b fig14a fig14b
+// fig15 fig16a fig16b, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	scale := flag.Int64("scale", 16, "divide Table 2 input sizes by this factor (1 = paper scale)")
+	exp := flag.String("experiment", "all", "experiment id or 'all'")
+	flag.Parse()
+
+	if err := run(*scale, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "abacus-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale int64, exp string) error {
+	s := experiments.NewSuite(scale)
+	type job struct {
+		id string
+		fn func() error
+	}
+	table := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}
+	jobs := []job{
+		{"t1", func() error { fmt.Println(experiments.Table1()); return nil }},
+		{"t2", func() error { fmt.Println(experiments.Table2()); return nil }},
+		{"mixes", func() error { fmt.Println(experiments.TableMixes()); return nil }},
+		{"fig3b", func() error {
+			p, err := experiments.Fig3Sensitivity(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig3bTable(p))
+			return nil
+		}},
+		{"fig3c", func() error {
+			p, err := experiments.Fig3Sensitivity(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig3cTable(p))
+			return nil
+		}},
+		{"fig3d", func() error { return table(s.Fig3d()) }},
+		{"fig3e", func() error { return table(s.Fig3e()) }},
+		{"fig10a", func() error { return table(s.Fig10a()) }},
+		{"fig10b", func() error { return table(s.Fig10b()) }},
+		{"fig11a", func() error { return table(s.Fig11a()) }},
+		{"fig11b", func() error { return table(s.Fig11b()) }},
+		{"fig12", func() error { return table(s.Fig12()) }},
+		{"fig13a", func() error { return table(s.Fig13a()) }},
+		{"fig13b", func() error { return table(s.Fig13b()) }},
+		{"fig14a", func() error { return table(s.Fig14a()) }},
+		{"fig14b", func() error { return table(s.Fig14b()) }},
+		{"fig15", func() error {
+			res, err := s.Fig15()
+			if err != nil {
+				return err
+			}
+			for _, name := range []string{"SIMD", "IntraO3"} {
+				r := res[name]
+				stride := len(r.FUSeries)/24 + 1
+				fmt.Println(report.Series("Fig 15a: FU utilization, "+name,
+					int64(r.SeriesBin), r.FUSeries, stride))
+				fmt.Println(report.Series("Fig 15b: power (W), "+name,
+					int64(r.SeriesBin), r.PowerSeries, stride))
+			}
+			return nil
+		}},
+		{"fig16a", func() error { return table(s.Fig16a()) }},
+		{"fig16b", func() error { return table(s.Fig16b()) }},
+	}
+	ran := false
+	for _, j := range jobs {
+		if exp == "all" || exp == j.id {
+			if err := j.fn(); err != nil {
+				return fmt.Errorf("%s: %w", j.id, err)
+			}
+			ran = true
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

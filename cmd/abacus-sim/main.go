@@ -1,0 +1,84 @@
+// Command abacus-sim runs a single workload on a single accelerated system
+// and prints its measurements — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	abacus-sim [-system IntraO3] [-workload ATAX|MX3|bfs] [-scale 16] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	sysName := flag.String("system", "IntraO3", "SIMD, InterSt, InterDy, IntraIo, or IntraO3")
+	wl := flag.String("workload", "ATAX", "Table 2 app, MX1..MX14, or bfs/wc/nn/nw/path")
+	scale := flag.Int64("scale", 16, "divide input sizes by this factor")
+	verbose := flag.Bool("v", false, "print per-kernel latencies and component energy")
+	flag.Parse()
+
+	if err := run(*sysName, *wl, *scale, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "abacus-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sysName, wl string, scale int64, verbose bool) error {
+	var sys core.System
+	found := false
+	for _, s := range core.Systems {
+		if s.String() == sysName {
+			sys, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown system %q", sysName)
+	}
+
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	var (
+		b   *workload.Bundle
+		err error
+	)
+	if strings.HasPrefix(wl, "MX") {
+		n, convErr := strconv.Atoi(strings.TrimPrefix(wl, "MX"))
+		if convErr != nil {
+			return fmt.Errorf("bad mix name %q", wl)
+		}
+		b, err = workload.Mix(n, o)
+	} else {
+		b, err = workload.Homogeneous(wl, o)
+	}
+	if err != nil {
+		return err
+	}
+
+	r, err := experiments.RunBundle(sys, b, false)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r)
+	fmt.Printf("  flashvisor: %d read groups, %d write groups, %d fg reclaims, %d migrated\n",
+		r.Visor.ReadGroups, r.Visor.WriteGroups, r.Visor.FGReclaims, r.Visor.Migrated)
+	fmt.Printf("  storengine: %d bg reclaims, %d journals; lock conflicts %d (waited %s)\n",
+		r.BGReclaims, r.Journals, r.LockConflicts, units.FormatDuration(r.LockWaited))
+	if verbose {
+		for i, l := range r.KernelLatencies {
+			fmt.Printf("  kernel %2d: latency %s\n", i, units.FormatDuration(l))
+		}
+		for _, e := range r.ByComponent {
+			fmt.Printf("  %-16s %-14s %8.3f J\n", e.Component, e.Cat, e.Joules)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Bigdata: the §5.6 extended evaluation — graph traversal, wordcount,
+// k-nearest neighbor, sequence alignment, and grid traversal — across the
+// conventional baseline and the FlashAbacus schedulers (paper Fig. 16).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flashabacus "repro"
+)
+
+func main() {
+	fmt.Printf("%-6s", "app")
+	for _, sys := range flashabacus.Systems {
+		fmt.Printf("  %10s", sys)
+	}
+	fmt.Println("  (MB/s)")
+	for _, app := range flashabacus.BigdataNames() {
+		fmt.Printf("%-6s", app)
+		for _, sys := range flashabacus.Systems {
+			bundle, err := flashabacus.Bigdata(app, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := flashabacus.Run(sys, bundle)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %10.1f", r.ThroughputMBps())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,33 @@
+// Polybench: compare all five accelerated systems on a data-intensive and a
+// compute-intensive PolyBench workload, reproducing the Fig. 10a contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flashabacus "repro"
+)
+
+func main() {
+	for _, app := range []string{"ATAX", "GEMM"} {
+		fmt.Printf("== %s (homogeneous, 6 instances) ==\n", app)
+		var simd float64
+		for _, sys := range flashabacus.Systems {
+			bundle, err := flashabacus.Polybench(app, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := flashabacus.Run(sys, bundle)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tput := r.ThroughputMBps()
+			if sys == flashabacus.SIMD {
+				simd = tput
+			}
+			fmt.Printf("  %-8s %8.1f MB/s  (%.2fx SIMD)  util %.0f%%  energy %.2f J\n",
+				sys, tput, tput/simd, r.WorkerUtil*100, r.Energy.Total())
+		}
+	}
+}

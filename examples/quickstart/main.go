@@ -1,0 +1,31 @@
+// Quickstart: run one PolyBench workload on the out-of-order FlashAbacus
+// configuration and print the headline measurements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flashabacus "repro"
+)
+
+func main() {
+	// Six ATAX instances at 1/16 of the paper's 640 MB input.
+	bundle, err := flashabacus.Polybench("ATAX", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := flashabacus.Run(flashabacus.IntraO3, bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FlashAbacus quickstart — ATAX on IntraO3")
+	fmt.Println(result)
+	fmt.Printf("kernel completions (CDF):\n")
+	for _, p := range result.CDF() {
+		fmt.Printf("  %6.1f ms: %d/%d kernels done\n",
+			float64(p.Time)/1e6, p.Completed, len(result.CompletionTimes))
+	}
+}

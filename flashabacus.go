@@ -1,0 +1,115 @@
+// Package flashabacus is the public API of the FlashAbacus reproduction: a
+// self-governing flash-based accelerator for low-power systems (Zhang and
+// Jung, EuroSys 2018), simulated end to end in Go.
+//
+// The accelerator couples eight lightweight VLIW processors with a 32 GB
+// flash backbone. Kernels are offloaded as ELF-like kernel description
+// tables and executed under one of four self-governing schedulers (static
+// and dynamic inter-kernel, in-order and out-of-order intra-kernel) while
+// Flashvisor virtualizes flash into the processors' address space and
+// Storengine performs garbage collection and journaling off the critical
+// path. A conventional accelerator-plus-NVMe-SSD baseline (SIMD) is
+// modelled alongside for every comparison in the paper's evaluation.
+//
+// Quick start:
+//
+//	bundle, _ := flashabacus.Polybench("ATAX", 16)
+//	result, _ := flashabacus.Run(flashabacus.IntraO3, bundle)
+//	fmt.Println(result)
+//
+// The full evaluation (every table and figure) regenerates through
+// cmd/abacus-repro; bench_test.go exposes one benchmark per experiment.
+package flashabacus
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kdt"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// System selects the accelerated-system configuration (§5 "Accelerators").
+type System = core.System
+
+// The five evaluated systems: the conventional baseline and the four
+// FlashAbacus scheduling modes.
+const (
+	SIMD    = core.SIMD
+	InterSt = core.InterSt
+	InterDy = core.InterDy
+	IntraIo = core.IntraIo
+	IntraO3 = core.IntraO3
+)
+
+// Systems lists all five in the paper's presentation order.
+var Systems = core.Systems
+
+// Config is the device configuration; DefaultConfig returns the paper's
+// Table 1 hardware with the chosen execution governor.
+type Config = core.Config
+
+// DefaultConfig returns the prototype configuration for a system.
+func DefaultConfig(sys System) Config { return core.DefaultConfig(sys) }
+
+// Device is an assembled accelerator. Populate inputs, offload apps, run.
+type Device = core.Device
+
+// New builds a device from a configuration.
+func New(cfg Config) (*Device, error) { return core.New(cfg) }
+
+// Result carries a run's measurements: throughput, latency distribution,
+// utilization, energy decomposition, and optional time series.
+type Result = stats.Result
+
+// Bundle is a ready-to-run workload: applications to offload plus the
+// input ranges to pre-populate.
+type Bundle = workload.Bundle
+
+// Table is a kernel description table — the executable object a host
+// offloads (paper §4 "Kernel").
+type Table = kdt.Table
+
+// Polybench builds the §5.1 homogeneous workload for one of the fourteen
+// Table 2 applications (six kernel instances). scale divides the paper's
+// input sizes; use 1 for paper scale, larger values for quick runs.
+func Polybench(name string, scale int64) (*Bundle, error) {
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	return workload.Homogeneous(name, o)
+}
+
+// Mix builds heterogeneous workload MXn (n in 1..14): six applications,
+// four kernel instances each.
+func Mix(n int, scale int64) (*Bundle, error) {
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	return workload.Mix(n, o)
+}
+
+// Bigdata builds the §5.6 workload for bfs, wc, nn, nw, or path.
+func Bigdata(name string, scale int64) (*Bundle, error) {
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	return workload.Homogeneous(name, o)
+}
+
+// PolybenchNames returns the Table 2 application names.
+func PolybenchNames() []string { return workload.Names() }
+
+// BigdataNames returns the §5.6 application names.
+func BigdataNames() []string { return workload.BigdataNames() }
+
+// MixCount is the number of heterogeneous workloads.
+const MixCount = workload.MixCount
+
+// Run executes a workload bundle on the named system with the default
+// configuration and returns its measurements.
+func Run(sys System, b *Bundle) (*Result, error) {
+	return experiments.RunBundle(sys, b, false)
+}
+
+// RunWithSeries additionally collects the Fig. 15 time series.
+func RunWithSeries(sys System, b *Bundle) (*Result, error) {
+	return experiments.RunBundle(sys, b, true)
+}

@@ -1,0 +1,64 @@
+package flashabacus
+
+import "testing"
+
+func TestQuickstartPath(t *testing.T) {
+	b, err := Polybench("ATAX", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(IntraO3, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThroughputMBps() <= 0 || r.Makespan <= 0 {
+		t.Errorf("degenerate result: %s", r)
+	}
+}
+
+func TestAllSystemsRunMix(t *testing.T) {
+	for _, sys := range Systems {
+		b, err := Mix(1, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(sys, b); err != nil {
+			t.Errorf("%v: %v", sys, err)
+		}
+	}
+}
+
+func TestBigdataFacade(t *testing.T) {
+	for _, name := range BigdataNames() {
+		b, err := Bigdata(name, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(InterDy, b); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSeriesFacade(t *testing.T) {
+	b, _ := Polybench("GEMM", 64)
+	r, err := RunWithSeries(IntraO3, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FUSeries) == 0 {
+		t.Error("no series collected")
+	}
+}
+
+func TestBadWorkloadNames(t *testing.T) {
+	if _, err := Polybench("NOPE", 1); err == nil {
+		t.Error("unknown polybench accepted")
+	}
+	if _, err := Mix(99, 1); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if _, err := Bigdata("NOPE", 1); err == nil {
+		t.Error("unknown bigdata accepted")
+	}
+}

@@ -1,0 +1,380 @@
+// Package analytics implements the five graph/bigdata applications of the
+// paper's §5.6 extended evaluation — k-nearest neighbor (nn), graph
+// traversal (bfs), DNA sequence alignment (nw), grid traversal (path), and
+// mapreduce wordcount (wc) — as real Go builtins with functional kernel
+// description tables, mirroring internal/polybench for the Rodinia/Mars
+// workloads.
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kdt"
+	"repro/internal/kernel"
+)
+
+// Builtin ids (200 + index).
+const (
+	BuiltinBFS uint16 = 200 + iota
+	BuiltinWC
+	BuiltinNN
+	BuiltinNW
+	BuiltinPath
+)
+
+func init() {
+	kernel.RegisterBuiltin(BuiltinBFS, "bfs", wrap(bfsRun))
+	kernel.RegisterBuiltin(BuiltinWC, "wc", wrap(wcRun))
+	kernel.RegisterBuiltin(BuiltinNN, "nn", wrap(nnRun))
+	kernel.RegisterBuiltin(BuiltinNW, "nw", wrap(nwRun))
+	kernel.RegisterBuiltin(BuiltinPath, "path", wrap(pathRun))
+}
+
+type runFunc func(arg uint32, in []byte) ([]byte, error)
+
+func wrap(fn runFunc) kernel.BuiltinFunc {
+	return func(ctx *kernel.ExecCtx) error {
+		in, ok := ctx.Sections[0]
+		if !ok {
+			return fmt.Errorf("analytics: input section missing")
+		}
+		out, err := fn(ctx.Arg, in)
+		if err != nil {
+			return err
+		}
+		ctx.Sections[1] = out
+		return nil
+	}
+}
+
+// --- bfs ------------------------------------------------------------------
+
+// bfsRun performs breadth-first search from vertex 0 over an n-vertex
+// adjacency matrix (row-major bytes, nonzero = edge) and returns per-vertex
+// levels as float32 (-1 for unreachable).
+func bfsRun(arg uint32, in []byte) ([]byte, error) {
+	n := int(arg)
+	if n <= 0 || len(in) < n*n {
+		return nil, fmt.Errorf("analytics: bfs input %d bytes for n=%d", len(in), n)
+	}
+	level := make([]float32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := 0; u < n; u++ {
+			if in[v*n+u] != 0 && level[u] < 0 {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return kernel.F32ToBytes(level), nil
+}
+
+// --- wc -------------------------------------------------------------------
+
+// wcBuckets is the reduce-side hash-bucket count of the wordcount model.
+const wcBuckets = 64
+
+// wcRun counts whitespace-separated words, reducing them into hash buckets
+// (the mapreduce shuffle stage collapsed), returned as float32 counts.
+func wcRun(_ uint32, in []byte) ([]byte, error) {
+	counts := make([]float32, wcBuckets)
+	var h uint32
+	inWord := false
+	for _, c := range in {
+		if c == ' ' || c == '\n' || c == '\t' || c == 0 {
+			if inWord {
+				counts[h%wcBuckets]++
+				inWord = false
+				h = 2166136261
+			}
+			continue
+		}
+		if !inWord {
+			inWord = true
+			h = 2166136261
+		}
+		h = (h ^ uint32(c)) * 16777619
+	}
+	if inWord {
+		counts[h%wcBuckets]++
+	}
+	return kernel.F32ToBytes(counts), nil
+}
+
+// --- nn -------------------------------------------------------------------
+
+// nnDim is the point dimensionality of the k-nearest-neighbor model.
+const nnDim = 4
+
+// nnRun computes distances from a query (the last point) to m points and
+// returns the k=8 smallest distances in ascending order.
+func nnRun(arg uint32, in []byte) ([]byte, error) {
+	m := int(arg)
+	vals := kernel.BytesToF32(in)
+	if m <= 0 || len(vals) < (m+1)*nnDim {
+		return nil, fmt.Errorf("analytics: nn input %d floats for m=%d", len(vals), m)
+	}
+	query := vals[m*nnDim : (m+1)*nnDim]
+	dists := make([]float32, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		for d := 0; d < nnDim; d++ {
+			diff := float64(vals[i*nnDim+d] - query[d])
+			s += diff * diff
+		}
+		dists[i] = float32(math.Sqrt(s))
+	}
+	k := 8
+	if k > m {
+		k = m
+	}
+	// Selection of the k smallest, in order.
+	out := make([]float32, k)
+	used := make([]bool, m)
+	for j := 0; j < k; j++ {
+		best := -1
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			if best < 0 || dists[i] < dists[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		out[j] = dists[best]
+	}
+	return kernel.F32ToBytes(out), nil
+}
+
+// --- nw -------------------------------------------------------------------
+
+// nwRun scores a Needleman-Wunsch global alignment of two length-n
+// sequences (bytes 0..3), returning the final DP row as float32 — its last
+// element is the alignment score.
+func nwRun(arg uint32, in []byte) ([]byte, error) {
+	n := int(arg)
+	if n <= 0 || len(in) < 2*n {
+		return nil, fmt.Errorf("analytics: nw input %d bytes for n=%d", len(in), n)
+	}
+	const (
+		match    = 1
+		mismatch = -1
+		gap      = -2
+	)
+	a, b := in[:n], in[n:2*n]
+	prev := make([]int32, n+1)
+	cur := make([]int32, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = int32(j) * gap
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = int32(i) * gap
+		for j := 1; j <= n; j++ {
+			sub := prev[j-1]
+			if a[i-1] == b[j-1] {
+				sub += match
+			} else {
+				sub += mismatch
+			}
+			best := sub
+			if v := prev[j] + gap; v > best {
+				best = v
+			}
+			if v := cur[j-1] + gap; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	out := make([]float32, n+1)
+	for j := range prev {
+		out[j] = float32(prev[j])
+	}
+	return kernel.F32ToBytes(out), nil
+}
+
+// --- path -----------------------------------------------------------------
+
+// pathRun solves the Rodinia pathfinder recurrence on a rows×cols weight
+// grid (float32): each step moves down to the nearest of the three
+// neighbors. Arg packs rows<<16 | cols. The result is the final cost row.
+func pathRun(arg uint32, in []byte) ([]byte, error) {
+	rows := int(arg >> 16)
+	cols := int(arg & 0xFFFF)
+	grid := kernel.BytesToF32(in)
+	if rows <= 0 || cols <= 0 || len(grid) < rows*cols {
+		return nil, fmt.Errorf("analytics: path input %d floats for %dx%d", len(grid), rows, cols)
+	}
+	cost := append([]float32(nil), grid[:cols]...)
+	next := make([]float32, cols)
+	for r := 1; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			best := cost[c]
+			if c > 0 && cost[c-1] < best {
+				best = cost[c-1]
+			}
+			if c < cols-1 && cost[c+1] < best {
+				best = cost[c+1]
+			}
+			next[c] = grid[r*cols+c] + best
+		}
+		cost, next = next, cost
+	}
+	return kernel.F32ToBytes(cost), nil
+}
+
+// --- builders ---------------------------------------------------------------
+
+// spec ties a name to its builtin, input generator, and table parameters.
+type spec struct {
+	id    uint16
+	arg   func(n int) uint32
+	input func(n int) []byte
+	outSz func(n int) int64 // output bytes
+}
+
+var specs = map[string]spec{
+	"bfs": {BuiltinBFS, func(n int) uint32 { return uint32(n) }, genGraph,
+		func(n int) int64 { return int64(4 * n) }},
+	"wc": {BuiltinWC, func(n int) uint32 { return uint32(n) }, genText,
+		func(n int) int64 { return 4 * wcBuckets }},
+	"nn": {BuiltinNN, func(n int) uint32 { return uint32(n) }, genPoints,
+		func(n int) int64 { return 4 * 8 }},
+	"nw": {BuiltinNW, func(n int) uint32 { return uint32(n) }, genSeqs,
+		func(n int) int64 { return int64(4 * (n + 1)) }},
+	"path": {BuiltinPath, func(n int) uint32 { return uint32(n)<<16 | uint32(n) }, genGrid,
+		func(n int) int64 { return int64(4 * n) }},
+}
+
+// Names lists the applications in the paper's Fig. 16 order.
+func Names() []string { return []string{"bfs", "wc", "nn", "nw", "path"} }
+
+func lcg(seed string) func() uint64 {
+	var s uint64 = 88172645463325252
+	for _, c := range seed {
+		s = s*131 + uint64(c)
+	}
+	return func() uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return s
+	}
+}
+
+func genGraph(n int) []byte {
+	r := lcg("bfs")
+	out := make([]byte, n*n)
+	for i := 0; i < n; i++ {
+		// A ring keeps the graph connected; extra random edges add fanout.
+		out[i*n+(i+1)%n] = 1
+		out[((i+1)%n)*n+i] = 1
+		for e := 0; e < 3; e++ {
+			j := int(r()>>33) % n
+			if j != i {
+				out[i*n+j] = 1
+				out[j*n+i] = 1
+			}
+		}
+	}
+	return out
+}
+
+func genText(n int) []byte {
+	r := lcg("wc")
+	out := make([]byte, n)
+	for i := range out {
+		v := r() >> 33
+		if v%6 == 0 {
+			out[i] = ' '
+		} else {
+			out[i] = byte('a' + v%26)
+		}
+	}
+	return out
+}
+
+func genPoints(m int) []byte {
+	r := lcg("nn")
+	vals := make([]float32, (m+1)*nnDim)
+	for i := range vals {
+		vals[i] = float32(r()>>40) / float32(1<<24)
+	}
+	return kernel.F32ToBytes(vals)
+}
+
+func genSeqs(n int) []byte {
+	r := lcg("nw")
+	out := make([]byte, 2*n)
+	for i := range out {
+		out[i] = byte(r() >> 33 & 3)
+	}
+	return out
+}
+
+func genGrid(n int) []byte {
+	r := lcg("path")
+	vals := make([]float32, n*n)
+	for i := range vals {
+		vals[i] = float32(r()>>40) / float32(1<<24) * 10
+	}
+	return kernel.F32ToBytes(vals)
+}
+
+// Input returns the deterministic input payload for an application at
+// problem size n.
+func Input(name string, n int) ([]byte, error) {
+	s, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("analytics: unknown application %q", name)
+	}
+	return s.input(n), nil
+}
+
+// Reference runs the application directly and returns its output bytes.
+func Reference(name string, n int, in []byte) ([]byte, error) {
+	s, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("analytics: unknown application %q", name)
+	}
+	fn := map[uint16]runFunc{
+		BuiltinBFS: bfsRun, BuiltinWC: wcRun, BuiltinNN: nnRun,
+		BuiltinNW: nwRun, BuiltinPath: pathRun,
+	}[s.id]
+	return fn(s.arg(n), in)
+}
+
+// App builds a functional kernel description table for an application at
+// problem size n. It returns the table, input payload, and output size.
+func App(name string, n int, inAddr, outAddr int64) (*kdt.Table, []byte, int64, error) {
+	s, ok := specs[name]
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("analytics: unknown application %q", name)
+	}
+	in := s.input(n)
+	outBytes := s.outSz(n)
+	instr := int64(n) * int64(n)
+	if instr < 1000 {
+		instr = 1000
+	}
+	tab := &kdt.Table{
+		Name:     name,
+		Sections: kdt.DefaultSections(0, int64(len(in))),
+		Microblocks: []kdt.Microblock{{Screens: []kdt.Screen{{Ops: []kdt.Op{
+			{Kind: kdt.OpRead, Section: 0, FlashAddr: inAddr, Bytes: int64(len(in))},
+			{Kind: kdt.OpCompute, Instr: instr, MulMilli: 50, LdStMilli: 420},
+			{Kind: kdt.OpExec, Section: 0, Builtin: s.id, Arg: s.arg(n)},
+			{Kind: kdt.OpWrite, Section: 1, FlashAddr: outAddr, Bytes: outBytes},
+		}}}}},
+	}
+	tab.Sections[0].Size = tab.TextSize()
+	return tab, in, outBytes, nil
+}

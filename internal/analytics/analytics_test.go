@@ -1,0 +1,251 @@
+package analytics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kdt"
+	"repro/internal/kernel"
+	"repro/internal/units"
+)
+
+func TestBFSLevels(t *testing.T) {
+	// A 4-cycle: levels from vertex 0 are 0,1,2,1.
+	n := 4
+	adj := make([]byte, n*n)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	for _, e := range edges {
+		adj[e[0]*n+e[1]] = 1
+		adj[e[1]*n+e[0]] = 1
+	}
+	out, err := bfsRun(uint32(n), adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := kernel.BytesToF32(out)
+	want := []float32{0, 1, 2, 1}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Errorf("level[%d] = %v, want %v", i, lv[i], want[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	out, err := bfsRun(3, make([]byte, 9)) // no edges
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := kernel.BytesToF32(out)
+	if lv[0] != 0 || lv[1] != -1 || lv[2] != -1 {
+		t.Errorf("levels = %v", lv)
+	}
+}
+
+func TestBFSGeneratedGraphConnected(t *testing.T) {
+	n := 64
+	in, _ := Input("bfs", n)
+	out, err := bfsRun(uint32(n), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range kernel.BytesToF32(out) {
+		if l < 0 {
+			t.Fatalf("vertex %d unreachable in ring-based graph", i)
+		}
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	out, err := wcRun(0, []byte("the cat and the dog and the bird"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := kernel.BytesToF32(out)
+	var total float32
+	for _, c := range counts {
+		total += c
+	}
+	if total != 8 {
+		t.Errorf("total words = %v, want 8", total)
+	}
+	// Same word hashes to the same bucket: "the" appears 3 times, so some
+	// bucket holds at least 3.
+	var max float32
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3 {
+		t.Errorf("max bucket = %v, want >= 3 (three 'the')", max)
+	}
+}
+
+func TestWordCountEdges(t *testing.T) {
+	for _, text := range []string{"", "   ", "word", " lead trail "} {
+		out, err := wcRun(0, []byte(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float32
+		for _, c := range kernel.BytesToF32(out) {
+			total += c
+		}
+		want := float32(len(strings.Fields(text)))
+		if total != want {
+			t.Errorf("%q: total = %v, want %v", text, total, want)
+		}
+	}
+}
+
+func TestNNDistancesSortedAndCorrect(t *testing.T) {
+	m := 32
+	in, _ := Input("nn", m)
+	out, err := nnRun(uint32(m), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := kernel.BytesToF32(out)
+	if len(dists) != 8 {
+		t.Fatalf("k = %d, want 8", len(dists))
+	}
+	for i := 1; i < len(dists); i++ {
+		if dists[i] < dists[i-1] {
+			t.Fatal("distances not ascending")
+		}
+	}
+	// Verify the minimum against a direct scan.
+	vals := kernel.BytesToF32(in)
+	q := vals[m*nnDim:]
+	best := math.Inf(1)
+	for i := 0; i < m; i++ {
+		var s float64
+		for d := 0; d < nnDim; d++ {
+			diff := float64(vals[i*nnDim+d] - q[d])
+			s += diff * diff
+		}
+		if s := math.Sqrt(s); s < best {
+			best = s
+		}
+	}
+	if math.Abs(float64(dists[0])-best) > 1e-5 {
+		t.Errorf("nearest = %v, want %v", dists[0], best)
+	}
+}
+
+func TestNWKnownAlignment(t *testing.T) {
+	// Identical sequences: score = n × match = n.
+	n := 6
+	in := make([]byte, 2*n)
+	for i := 0; i < n; i++ {
+		in[i] = byte(i % 4)
+		in[n+i] = byte(i % 4)
+	}
+	out, err := nwRun(uint32(n), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := kernel.BytesToF32(out)
+	if row[n] != float32(n) {
+		t.Errorf("identical-sequence score = %v, want %d", row[n], n)
+	}
+	// Completely different short sequences score the mismatch diagonal.
+	in2 := []byte{0, 0, 1, 1}
+	out2, _ := nwRun(2, in2)
+	row2 := kernel.BytesToF32(out2)
+	if row2[2] != -2 {
+		t.Errorf("mismatch score = %v, want -2", row2[2])
+	}
+}
+
+func TestPathfinderMinimalPath(t *testing.T) {
+	// 3x3 grid with an obvious cheap column.
+	grid := []float32{
+		1, 9, 9,
+		9, 1, 9,
+		9, 9, 1,
+	}
+	out, err := pathRun(3<<16|3, kernel.F32ToBytes(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := kernel.BytesToF32(out)
+	// The diagonal 1+1+1 = 3 is reachable since steps may move ±1 column.
+	if cost[2] != 3 {
+		t.Errorf("min path cost = %v, want 3", cost[2])
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := bfsRun(10, make([]byte, 5)); err == nil {
+		t.Error("short bfs input accepted")
+	}
+	if _, err := nnRun(100, make([]byte, 8)); err == nil {
+		t.Error("short nn input accepted")
+	}
+	if _, err := nwRun(100, make([]byte, 8)); err == nil {
+		t.Error("short nw input accepted")
+	}
+	if _, err := pathRun(8<<16|8, make([]byte, 8)); err == nil {
+		t.Error("short path input accepted")
+	}
+	if _, err := Input("nope", 8); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Reference("nope", 8, nil); err == nil {
+		t.Error("unknown reference accepted")
+	}
+	if _, _, _, err := App("nope", 8, 0, 0); err == nil {
+		t.Error("unknown app builder accepted")
+	}
+}
+
+// TestEveryAppThroughDevice runs each analytics application end to end on
+// the device and compares flash output with the direct reference.
+func TestEveryAppThroughDevice(t *testing.T) {
+	const n = 32
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := core.DefaultConfig(core.IntraO3)
+			cfg.Functional = true
+			d, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outAddr := int64(1 * units.GB)
+			tab, input, outBytes, err := App(name, n, 0, outAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.PopulateInput(0, int64(len(input)), input); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.OffloadApp(name, []*kdt.Table{tab}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.Visor().ReadBytes(outAddr, outBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Reference(name, n, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("output %d bytes, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("flash output differs at byte %d", i)
+				}
+			}
+		})
+	}
+}

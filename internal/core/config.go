@@ -1,0 +1,156 @@
+// Package core assembles the FlashAbacus accelerator: eight LWPs, the
+// two-tier crossbar network, DDR3L and scratchpad, the PCIe host link, the
+// FPGA flash-controller complex, Flashvisor, and Storengine — and executes
+// offloaded kernel description tables under one of the five execution
+// governors the paper evaluates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/flashctrl"
+	"repro/internal/flashvisor"
+	"repro/internal/host"
+	"repro/internal/lwp"
+	"repro/internal/noc"
+	"repro/internal/pcie"
+	"repro/internal/power"
+	"repro/internal/storengine"
+	"repro/internal/units"
+)
+
+// System selects the accelerated-system configuration (§5 "Accelerators").
+type System int
+
+// The five evaluated systems.
+const (
+	SIMD System = iota
+	InterSt
+	InterDy
+	IntraIo
+	IntraO3
+)
+
+// Systems lists all five in the paper's presentation order.
+var Systems = []System{SIMD, InterSt, InterDy, IntraIo, IntraO3}
+
+// FlashAbacusSystems lists the four self-governing configurations.
+var FlashAbacusSystems = []System{InterSt, InterDy, IntraIo, IntraO3}
+
+func (s System) String() string {
+	switch s {
+	case SIMD:
+		return "SIMD"
+	case InterSt:
+		return "InterSt"
+	case InterDy:
+		return "InterDy"
+	case IntraIo:
+		return "IntraIo"
+	case IntraO3:
+		return "IntraO3"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// IsFlashAbacus reports whether the system integrates the flash backbone
+// (everything but the SIMD baseline).
+func (s System) IsFlashAbacus() bool { return s != SIMD }
+
+// Config describes one device build. DefaultConfig returns Table 1 values;
+// every knob exists so ablations can deviate explicitly.
+type Config struct {
+	System System
+
+	// LWPs is the total core count (8). Workers is the compute-core
+	// subset; 0 selects the paper's split automatically: all cores for
+	// SIMD, LWPs-2 for FlashAbacus (one each for Flashvisor/Storengine).
+	LWPs    int
+	Workers int
+
+	CostModel lwp.CostModel
+	// WakeLatency is the PSC revocation time; SleepAfter is the idle gap
+	// after which a worker is put back to sleep.
+	WakeLatency units.Duration
+	SleepAfter  units.Duration
+	// DispatchOverhead is the Flashvisor-to-worker IPC cost paid when a
+	// kernel's next screen lands on a different LWP than its predecessor
+	// (the overhead §5.1 blames for IntraO3 trailing InterDy).
+	DispatchOverhead units.Duration
+
+	Flash       flash.Geometry
+	FlashTiming flash.Timing
+	Ctrl        flashctrl.Config
+	Visor       flashvisor.Config
+	Storengine  storengine.Config
+	Noc         noc.Config
+	PCIe        pcie.Config
+	Host        host.Config
+	Rates       power.Rates
+
+	// Functional stores real page payloads and runs EXEC builtins; leave
+	// it off for the paper-scale timing sweeps.
+	Functional bool
+	// NoOverlap disables the DDR3L double-buffering that overlaps flash
+	// streaming with compute (ablation; the SIMD baseline never overlaps).
+	NoOverlap bool
+	// CollectSeries enables the Fig. 15 time-series instrumentation.
+	CollectSeries bool
+	SeriesBin     units.Duration
+}
+
+// DefaultConfig returns the prototype configuration for a system.
+func DefaultConfig(sys System) Config {
+	return Config{
+		System:           sys,
+		LWPs:             8,
+		CostModel:        lwp.DefaultCostModel(),
+		WakeLatency:      5 * units.Microsecond,
+		SleepAfter:       100 * units.Microsecond,
+		DispatchOverhead: 3 * units.Microsecond,
+		Flash:            flash.DefaultGeometry(),
+		FlashTiming:      flash.DefaultTiming(),
+		Ctrl:             flashctrl.DefaultConfig(),
+		Visor:            flashvisor.DefaultConfig(),
+		Storengine:       storengine.DefaultConfig(),
+		Noc:              noc.DefaultConfig(),
+		PCIe:             pcie.DefaultConfig(),
+		Host:             host.DefaultConfig(),
+		Rates:            power.DefaultRates(),
+		SeriesBin:        100 * units.Microsecond,
+	}
+}
+
+// workerCount resolves the Workers default.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if c.System == SIMD {
+		return c.LWPs
+	}
+	return c.LWPs - 2
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	if c.LWPs < 1 {
+		return fmt.Errorf("core: %d LWPs", c.LWPs)
+	}
+	w := c.workerCount()
+	if w < 1 || w > c.LWPs {
+		return fmt.Errorf("core: %d workers outside [1,%d]", w, c.LWPs)
+	}
+	if c.System.IsFlashAbacus() && c.Workers == 0 && c.LWPs < 3 {
+		return fmt.Errorf("core: FlashAbacus needs at least 3 LWPs (workers + Flashvisor + Storengine)")
+	}
+	if err := c.CostModel.Validate(); err != nil {
+		return err
+	}
+	if c.CollectSeries && c.SeriesBin <= 0 {
+		return fmt.Errorf("core: series collection needs a positive bin")
+	}
+	return c.Host.Validate()
+}

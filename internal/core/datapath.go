@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/flashvisor"
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// dataPath abstracts where kernel data sections live: the integrated flash
+// backbone behind Flashvisor, or the conventional external SSD behind the
+// host storage stack.
+type dataPath interface {
+	// Read makes [addr, addr+bytes) available in accelerator DRAM,
+	// returning the completion time and (functional runs) the bytes.
+	Read(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error)
+	// Write persists a data section. data may be nil for timing-only runs.
+	Write(at sim.Time, owner int, addr, bytes int64, data []byte) (sim.Time, error)
+	// Populate installs input data during experiment setup, untimed.
+	Populate(addr, bytes int64, data []byte) error
+	// Startup is the pipeline-fill latency before streamed data flows.
+	Startup() units.Duration
+	// Overlap reports whether reads may overlap compute.
+	Overlap() bool
+	// Drain returns when background device work finishes.
+	Drain() sim.Time
+}
+
+// visorPath routes data through Flashvisor (all FlashAbacus systems).
+type visorPath struct {
+	v       *flashvisor.Visor
+	overlap bool
+}
+
+func (p *visorPath) Read(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error) {
+	return p.v.MapRead(at, owner, addr, bytes)
+}
+
+func (p *visorPath) Write(at sim.Time, owner int, addr, bytes int64, data []byte) (sim.Time, error) {
+	return p.v.MapWrite(at, owner, addr, bytes, data)
+}
+
+func (p *visorPath) Populate(addr, bytes int64, data []byte) error {
+	return p.v.Populate(addr, bytes, data)
+}
+
+func (p *visorPath) Startup() units.Duration { return p.v.StartupLatency() }
+func (p *visorPath) Overlap() bool           { return p.overlap }
+func (p *visorPath) Drain() sim.Time         { return p.v.PersistedUntil() }
+
+// hostPath routes data through the host storage stack (SIMD baseline).
+type hostPath struct {
+	h *host.Host
+}
+
+func (p *hostPath) Read(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error) {
+	done, data := p.h.FetchToAccel(at, addr, bytes)
+	return done, data, nil
+}
+
+func (p *hostPath) Write(at sim.Time, owner int, addr, bytes int64, data []byte) (sim.Time, error) {
+	return p.h.StoreFromAccel(at, addr, bytes, data), nil
+}
+
+func (p *hostPath) Populate(addr, bytes int64, data []byte) error {
+	return p.h.Populate(addr, bytes, data)
+}
+
+func (p *hostPath) Startup() units.Duration { return 0 }
+func (p *hostPath) Overlap() bool           { return false }
+func (p *hostPath) Drain() sim.Time         { return 0 }

@@ -1,0 +1,536 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§3.1 and §5). cmd/abacus-repro, bench_test.go, and
+// EXPERIMENTS.md all regenerate their numbers through these functions, so
+// every reported row has exactly one source.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Suite runs and caches the evaluation's device runs at one scale. Scale
+// divides the Table 2 input sizes: 1 reproduces paper-scale data volumes,
+// larger values shrink runs for tests and benches.
+type Suite struct {
+	Scale int64
+
+	homog map[string]map[core.System]*stats.Result
+	het   map[int]map[core.System]*stats.Result
+	big   map[string]map[core.System]*stats.Result
+}
+
+// NewSuite returns an empty suite at the given scale.
+func NewSuite(scale int64) *Suite {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Suite{
+		Scale: scale,
+		homog: map[string]map[core.System]*stats.Result{},
+		het:   map[int]map[core.System]*stats.Result{},
+		big:   map[string]map[core.System]*stats.Result{},
+	}
+}
+
+func (s *Suite) opts() workload.Options {
+	o := workload.DefaultOptions()
+	o.Scale = s.Scale
+	return o
+}
+
+// RunBundle executes a workload bundle on one system configuration.
+func RunBundle(sys core.System, b *workload.Bundle, series bool) (*stats.Result, error) {
+	cfg := core.DefaultConfig(sys)
+	cfg.CollectSeries = series
+	d, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range b.Populate {
+		if err := d.PopulateInput(r.Addr, r.Bytes, nil); err != nil {
+			return nil, fmt.Errorf("%s/%s: populate: %w", b.Name, sys, err)
+		}
+	}
+	for _, app := range b.Apps {
+		if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+			return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, sys, err)
+		}
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", b.Name, sys, err)
+	}
+	res.Workload = b.Name
+	return res, nil
+}
+
+// Homogeneous returns (running and caching) the result for one Table 2
+// application on one system.
+func (s *Suite) Homogeneous(name string, sys core.System) (*stats.Result, error) {
+	if m := s.homog[name]; m != nil && m[sys] != nil {
+		return m[sys], nil
+	}
+	b, err := workload.Homogeneous(name, s.opts())
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunBundle(sys, b, false)
+	if err != nil {
+		return nil, err
+	}
+	if s.homog[name] == nil {
+		s.homog[name] = map[core.System]*stats.Result{}
+	}
+	s.homog[name][sys] = res
+	return res, nil
+}
+
+// Heterogeneous returns the cached result for mix MXn on one system.
+func (s *Suite) Heterogeneous(n int, sys core.System) (*stats.Result, error) {
+	if m := s.het[n]; m != nil && m[sys] != nil {
+		return m[sys], nil
+	}
+	b, err := workload.Mix(n, s.opts())
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunBundle(sys, b, false)
+	if err != nil {
+		return nil, err
+	}
+	if s.het[n] == nil {
+		s.het[n] = map[core.System]*stats.Result{}
+	}
+	s.het[n][sys] = res
+	return res, nil
+}
+
+// Bigdata returns the cached result for a §5.6 application on one system.
+func (s *Suite) Bigdata(name string, sys core.System) (*stats.Result, error) {
+	if m := s.big[name]; m != nil && m[sys] != nil {
+		return m[sys], nil
+	}
+	b, err := workload.Homogeneous(name, s.opts())
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunBundle(sys, b, false)
+	if err != nil {
+		return nil, err
+	}
+	if s.big[name] == nil {
+		s.big[name] = map[core.System]*stats.Result{}
+	}
+	s.big[name][sys] = res
+	return res, nil
+}
+
+// Table1 renders the hardware specification (Table 1).
+func Table1() *report.Table {
+	cfg := core.DefaultConfig(core.IntraO3)
+	t := &report.Table{Title: "Table 1: hardware specification",
+		Header: []string{"component", "specification", "frequency", "power", "est. B/W"}}
+	t.Add("LWP", fmt.Sprintf("%d processors", cfg.LWPs), "1GHz",
+		fmt.Sprintf("%.1fW/core", cfg.Rates.LWPActive), "16GB/s")
+	t.Add("L1/L2 cache", "64KB/512KB", "500MHz", "-", "16GB/s")
+	t.Add("Scratchpad", "4MB", "500MHz", "-", "16GB/s")
+	t.Add("Memory", "DDR3L, 1GB", "800MHz", fmt.Sprintf("%.1fW", cfg.Rates.DDR3L), "6.4GB/s")
+	t.Add("SSD", fmt.Sprintf("%d dies, %s", cfg.Flash.Channels*cfg.Flash.DieRows(),
+		units.FormatBytes(cfg.Flash.Capacity())), "200MHz",
+		fmt.Sprintf("%.0fW", cfg.Rates.Backbone), "3.2GB/s")
+	t.Add("PCIe", "v2.0, 2 lanes", "5GHz", fmt.Sprintf("%.2fW", cfg.Rates.PCIe), "1GB/s")
+	t.Add("Tier-1 crossbar", "256 lanes", "500MHz", "-", "16GB/s")
+	t.Add("Tier-2 crossbar", "128 lanes", "333MHz", "-", "5.2GB/s")
+	return t
+}
+
+// Table2 renders the workload characteristics (Table 2).
+func Table2() *report.Table {
+	t := &report.Table{Title: "Table 2: workload characteristics",
+		Header: []string{"name", "description", "MBLKs", "serial", "input(MB)", "LD/ST%", "B/KI", "class"}}
+	for _, s := range workload.Specs() {
+		class := "compute-intensive"
+		if s.DataIntensive() {
+			class = "data-intensive"
+		}
+		t.Add(s.Name, s.Desc, s.MBlocks, s.SerialMB, s.InputMB,
+			fmt.Sprintf("%.2f", s.LdStPct), fmt.Sprintf("%.2f", s.BKI), class)
+	}
+	return t
+}
+
+// TableMixes renders the reconstructed MX membership.
+func TableMixes() *report.Table {
+	t := &report.Table{Title: "Heterogeneous workloads (reconstructed mix table)",
+		Header: []string{"mix", "applications"}}
+	for n := 1; n <= workload.MixCount; n++ {
+		members, _ := workload.MixMembers(n)
+		t.Add(fmt.Sprintf("MX%d", n), fmt.Sprint(members))
+	}
+	return t
+}
+
+// SerialRatios are the Fig. 3 sweep points.
+var SerialRatios = []int{0, 10, 20, 30, 40, 50}
+
+// Fig3Point is one sensitivity measurement.
+type Fig3Point struct {
+	Cores      int
+	SerialPct  int
+	Throughput float64 // GB/s
+	Util       float64 // [0,1]
+}
+
+// Fig3Sensitivity sweeps cores 1–8 × serial ratio 0–50% on the
+// conventional system (Fig. 3b and 3c share these runs).
+func Fig3Sensitivity(scale int64) ([]Fig3Point, error) {
+	var out []Fig3Point
+	for cores := 1; cores <= 8; cores++ {
+		for _, pct := range SerialRatios {
+			o := workload.DefaultOptions()
+			o.Scale = scale
+			b, nominal, err := workload.Sensitivity(pct, cores, o)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig(core.SIMD)
+			cfg.Workers = cores
+			d, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, app := range b.Apps {
+				if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+					return nil, err
+				}
+			}
+			res, err := d.Run()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig3Point{
+				Cores:      cores,
+				SerialPct:  pct,
+				Throughput: float64(nominal) / units.Seconds(res.Makespan) / 1e9,
+				Util:       res.WorkerUtil,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig3bTable renders throughput vs cores.
+func Fig3bTable(points []Fig3Point) *report.Table {
+	return fig3Table(points, "Fig 3b: workload throughput (GB/s)", func(p Fig3Point) float64 {
+		return p.Throughput
+	})
+}
+
+// Fig3cTable renders utilization vs cores.
+func Fig3cTable(points []Fig3Point) *report.Table {
+	return fig3Table(points, "Fig 3c: core utilization (%)", func(p Fig3Point) float64 {
+		return p.Util * 100
+	})
+}
+
+func fig3Table(points []Fig3Point, title string, val func(Fig3Point) float64) *report.Table {
+	t := &report.Table{Title: title, Header: []string{"cores"}}
+	for _, r := range SerialRatios {
+		t.Header = append(t.Header, fmt.Sprintf("serial %d%%", r))
+	}
+	for cores := 1; cores <= 8; cores++ {
+		row := []interface{}{cores}
+		for _, r := range SerialRatios {
+			for _, p := range points {
+				if p.Cores == cores && p.SerialPct == r {
+					row = append(row, val(p))
+				}
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig3Apps are the applications the Fig. 3d/3e breakdowns plot.
+var Fig3Apps = []string{"ATAX", "BICG", "2DCON", "MVT", "SYRK", "3MM", "GESUM", "ADI", "COVAR", "FDTD"}
+
+// Fig3d renders the SIMD-system execution-time decomposition.
+func (s *Suite) Fig3d() (*report.Table, error) {
+	t := &report.Table{Title: "Fig 3d: execution time breakdown (SIMD system)",
+		Header: []string{"app", "accelerator", "SSD", "host storage stack"}}
+	for _, name := range Fig3Apps {
+		r, err := s.Homogeneous(name, core.SIMD)
+		if err != nil {
+			return nil, err
+		}
+		a, ssd, stack := r.BreakdownFracs()
+		t.Add(name, a, ssd, stack)
+	}
+	return t, nil
+}
+
+// Fig3e renders the SIMD-system energy decomposition.
+func (s *Suite) Fig3e() (*report.Table, error) {
+	t := &report.Table{Title: "Fig 3e: energy breakdown (SIMD system)",
+		Header: []string{"app", "accelerator", "SSD+stack (storage)", "data movement"}}
+	for _, name := range Fig3Apps {
+		r, err := s.Homogeneous(name, core.SIMD)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name, r.Energy.Frac(power.Compute), r.Energy.Frac(power.Storage), r.Energy.Frac(power.DataMove))
+	}
+	return t, nil
+}
+
+// Fig10a renders homogeneous throughput for all five systems.
+func (s *Suite) Fig10a() (*report.Table, error) {
+	t := &report.Table{Title: "Fig 10a: homogeneous throughput (MB/s)",
+		Header: append([]string{"app"}, systemNames()...)}
+	for _, name := range workload.Names() {
+		row := []interface{}{name}
+		for _, sys := range core.Systems {
+			r, err := s.Homogeneous(name, sys)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", r.ThroughputMBps()))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Fig10b renders heterogeneous throughput for all five systems.
+func (s *Suite) Fig10b() (*report.Table, error) {
+	t := &report.Table{Title: "Fig 10b: heterogeneous throughput (MB/s)",
+		Header: append([]string{"mix"}, systemNames()...)}
+	for n := 1; n <= workload.MixCount; n++ {
+		row := []interface{}{fmt.Sprintf("MX%d", n)}
+		for _, sys := range core.Systems {
+			r, err := s.Heterogeneous(n, sys)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", r.ThroughputMBps()))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// latTable renders Fig. 11's min/avg/max latencies normalized to SIMD.
+func (s *Suite) latTable(title string, names []string,
+	get func(string, core.System) (*stats.Result, error)) (*report.Table, error) {
+	t := &report.Table{Title: title,
+		Header: []string{"workload", "system", "min", "avg", "max"}}
+	for _, name := range names {
+		base, err := get(name, core.SIMD)
+		if err != nil {
+			return nil, err
+		}
+		bmin, bavg, bmax := base.LatencyStats()
+		for _, sys := range core.Systems {
+			r, err := get(name, sys)
+			if err != nil {
+				return nil, err
+			}
+			mn, av, mx := r.LatencyStats()
+			t.Add(name, sys.String(), norm(mn, bmin), norm(av, bavg), norm(mx, bmax))
+		}
+	}
+	return t, nil
+}
+
+func norm(v, base units.Duration) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(v)/float64(base))
+}
+
+// Fig11a renders homogeneous latency normalized to SIMD.
+func (s *Suite) Fig11a() (*report.Table, error) {
+	return s.latTable("Fig 11a: homogeneous latency (normalized to SIMD)", workload.Names(), s.Homogeneous)
+}
+
+// Fig11b renders heterogeneous latency normalized to SIMD.
+func (s *Suite) Fig11b() (*report.Table, error) {
+	names := make([]string, workload.MixCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("MX%d", i+1)
+	}
+	return s.latTable("Fig 11b: heterogeneous latency (normalized to SIMD)", names,
+		func(name string, sys core.System) (*stats.Result, error) {
+			var n int
+			fmt.Sscanf(name, "MX%d", &n)
+			return s.Heterogeneous(n, sys)
+		})
+}
+
+// Fig12 renders the kernel-completion CDFs for ATAX and MX1.
+func (s *Suite) Fig12() (*report.Table, error) {
+	t := &report.Table{Title: "Fig 12: kernel completion CDF (ATAX and MX1)",
+		Header: []string{"workload", "system", "completions (time ms : count)"}}
+	for _, sys := range core.Systems {
+		r, err := s.Homogeneous("ATAX", sys)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("ATAX", sys.String(), cdfString(r))
+	}
+	for _, sys := range core.Systems {
+		r, err := s.Heterogeneous(1, sys)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("MX1", sys.String(), cdfString(r))
+	}
+	return t, nil
+}
+
+func cdfString(r *stats.Result) string {
+	out := ""
+	for _, p := range r.CDF() {
+		out += fmt.Sprintf("%.1f:%d ", float64(p.Time)/1e6, p.Completed)
+	}
+	return out
+}
+
+// energyTable renders Fig. 13's decomposition normalized to SIMD total.
+func (s *Suite) energyTable(title string, names []string,
+	get func(string, core.System) (*stats.Result, error)) (*report.Table, error) {
+	t := &report.Table{Title: title,
+		Header: []string{"workload", "system", "data movement", "computation", "storage access", "total"}}
+	for _, name := range names {
+		base, err := get(name, core.SIMD)
+		if err != nil {
+			return nil, err
+		}
+		bt := base.Energy.Total()
+		for _, sys := range core.Systems {
+			r, err := get(name, sys)
+			if err != nil {
+				return nil, err
+			}
+			e := r.Energy
+			t.Add(name, sys.String(),
+				e[power.DataMove]/bt, e[power.Compute]/bt, e[power.Storage]/bt, e.Total()/bt)
+		}
+	}
+	return t, nil
+}
+
+// Fig13a renders homogeneous energy decomposition.
+func (s *Suite) Fig13a() (*report.Table, error) {
+	return s.energyTable("Fig 13a: homogeneous energy (normalized to SIMD)", workload.Names(), s.Homogeneous)
+}
+
+// Fig13b renders heterogeneous energy decomposition.
+func (s *Suite) Fig13b() (*report.Table, error) {
+	names := make([]string, workload.MixCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("MX%d", i+1)
+	}
+	return s.energyTable("Fig 13b: heterogeneous energy (normalized to SIMD)", names,
+		func(name string, sys core.System) (*stats.Result, error) {
+			var n int
+			fmt.Sscanf(name, "MX%d", &n)
+			return s.Heterogeneous(n, sys)
+		})
+}
+
+// utilTable renders Fig. 14's processor utilizations.
+func (s *Suite) utilTable(title string, names []string,
+	get func(string, core.System) (*stats.Result, error)) (*report.Table, error) {
+	t := &report.Table{Title: title, Header: append([]string{"workload"}, systemNames()...)}
+	for _, name := range names {
+		row := []interface{}{name}
+		for _, sys := range core.Systems {
+			r, err := get(name, sys)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", r.WorkerUtil*100))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Fig14a renders homogeneous LWP utilization.
+func (s *Suite) Fig14a() (*report.Table, error) {
+	return s.utilTable("Fig 14a: homogeneous LWP utilization (%)", workload.Names(), s.Homogeneous)
+}
+
+// Fig14b renders heterogeneous LWP utilization.
+func (s *Suite) Fig14b() (*report.Table, error) {
+	names := make([]string, workload.MixCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("MX%d", i+1)
+	}
+	return s.utilTable("Fig 14b: heterogeneous LWP utilization (%)", names,
+		func(name string, sys core.System) (*stats.Result, error) {
+			var n int
+			fmt.Sscanf(name, "MX%d", &n)
+			return s.Heterogeneous(n, sys)
+		})
+}
+
+// Fig15 runs MX1 with time-series collection on SIMD and IntraO3 and
+// returns the FU-utilization and power traces.
+func (s *Suite) Fig15() (map[string]*stats.Result, error) {
+	out := map[string]*stats.Result{}
+	for _, sys := range []core.System{core.SIMD, core.IntraO3} {
+		b, err := workload.Mix(1, s.opts())
+		if err != nil {
+			return nil, err
+		}
+		r, err := RunBundle(sys, b, true)
+		if err != nil {
+			return nil, err
+		}
+		out[sys.String()] = r
+	}
+	return out, nil
+}
+
+// Fig16a renders graph/bigdata throughput.
+func (s *Suite) Fig16a() (*report.Table, error) {
+	t := &report.Table{Title: "Fig 16a: graph/bigdata throughput (MB/s)",
+		Header: append([]string{"app"}, systemNames()...)}
+	for _, name := range workload.BigdataNames() {
+		row := []interface{}{name}
+		for _, sys := range core.Systems {
+			r, err := s.Bigdata(name, sys)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", r.ThroughputMBps()))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Fig16b renders graph/bigdata energy decomposition normalized to SIMD.
+func (s *Suite) Fig16b() (*report.Table, error) {
+	return s.energyTable("Fig 16b: graph/bigdata energy (normalized to SIMD)",
+		workload.BigdataNames(), s.Bigdata)
+}
+
+func systemNames() []string {
+	out := make([]string, len(core.Systems))
+	for i, sys := range core.Systems {
+		out[i] = sys.String()
+	}
+	return out
+}

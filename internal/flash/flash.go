@@ -1,0 +1,364 @@
+// Package flash models the FlashAbacus flash backbone: 32 GB of TLC flash
+// organized as 4 NV-DDR2 channels × 4 packages × 2 dies × 2 planes (paper
+// §2.2 and Table 1), with 8 KB pages and 256-page blocks.
+//
+// The unit of address translation is the page group (§4.3): one page from
+// each of the 4 channels × 2 planes of a single die row, 64 KB in total.
+// Timing is modelled with per-die sensing/program occupancy and per-channel
+// bus transfers, so sequential streams pipeline naturally and concurrent
+// kernels contend for the same buses the hardware would serialize on.
+//
+// When Functional is true the backbone stores real page-group payloads, so
+// garbage collection, journaling, and kernel reads can be verified end to
+// end; otherwise only validity metadata is kept.
+package flash
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Geometry describes the physical organization of the backbone.
+type Geometry struct {
+	Channels      int   // NV-DDR2 channels (4)
+	PackagesPerCh int   // flash packages per channel (4)
+	DiesPerPkg    int   // dies per package (2)
+	PlanesPerDie  int   // planes per die (2)
+	PageSize      int64 // bytes per page (8 KB)
+	PagesPerBlock int   // pages per block (256)
+	BlocksPerDie  int   // blocks per plane-pair, i.e. per die row slice (256)
+	MetaPages     int   // pages reserved at the start of each block for mapping metadata (2)
+}
+
+// DefaultGeometry returns the prototype's 32 GB organization.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:      4,
+		PackagesPerCh: 4,
+		DiesPerPkg:    2,
+		PlanesPerDie:  2,
+		PageSize:      8 * units.KB,
+		PagesPerBlock: 256,
+		BlocksPerDie:  256,
+		MetaPages:     2,
+	}
+}
+
+// DieRows returns the number of die rows: dies per channel, where a die row
+// is the set of same-indexed dies across all channels. One page group lives
+// entirely within one die row.
+func (g Geometry) DieRows() int { return g.PackagesPerCh * g.DiesPerPkg }
+
+// GroupSize returns the bytes in one page group:
+// channels × planes-per-die × page size.
+func (g Geometry) GroupSize() int64 {
+	return int64(g.Channels*g.PlanesPerDie) * g.PageSize
+}
+
+// GroupsPerSuperBlock returns the page groups in one super block (one block
+// row across a die row), including metadata groups.
+func (g Geometry) GroupsPerSuperBlock() int { return g.PagesPerBlock }
+
+// DataGroupsPerSuperBlock returns the usable page groups in one super block
+// after reserving the metadata pages.
+func (g Geometry) DataGroupsPerSuperBlock() int { return g.PagesPerBlock - g.MetaPages }
+
+// SuperBlocks returns the total number of super blocks.
+func (g Geometry) SuperBlocks() int { return g.DieRows() * g.BlocksPerDie }
+
+// TotalGroups returns the total physical page groups (including metadata).
+func (g Geometry) TotalGroups() int64 {
+	return int64(g.SuperBlocks()) * int64(g.GroupsPerSuperBlock())
+}
+
+// Capacity returns the raw capacity in bytes.
+func (g Geometry) Capacity() int64 { return g.TotalGroups() * g.GroupSize() }
+
+// Validate reports a configuration error, or nil.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0 || g.PackagesPerCh <= 0 || g.DiesPerPkg <= 0 || g.PlanesPerDie <= 0:
+		return fmt.Errorf("flash: non-positive geometry dimension %+v", g)
+	case g.PageSize <= 0 || g.PagesPerBlock <= 0 || g.BlocksPerDie <= 0:
+		return fmt.Errorf("flash: non-positive page organization %+v", g)
+	case g.MetaPages < 0 || g.MetaPages >= g.PagesPerBlock:
+		return fmt.Errorf("flash: metadata pages %d out of range", g.MetaPages)
+	}
+	return nil
+}
+
+// Timing holds the TLC device timings (paper §2.2: 8 KB page read ≈ 81 µs,
+// program ≈ 2.6 ms) and the per-channel NV-DDR2 bus rate.
+type Timing struct {
+	ReadPage    units.Duration  // array sensing time (multi-plane)
+	ProgramPage units.Duration  // program time (multi-plane)
+	EraseBlock  units.Duration  // block erase time (multi-plane)
+	ChannelBW   units.Bandwidth // NV-DDR2 bus bandwidth per channel
+}
+
+// DefaultTiming returns the prototype's published timings.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadPage:    81 * units.Microsecond,
+		ProgramPage: 2600 * units.Microsecond,
+		EraseBlock:  5 * units.Millisecond,
+		ChannelBW:   200 * units.MBps * 4, // 200 MHz × 8-bit DDR ≈ 800 MB/s
+	}
+}
+
+// PhysGroup identifies a physical page group by linear index.
+type PhysGroup int64
+
+// SuperBlock identifies a super block (a block row across one die row).
+type SuperBlock int32
+
+// GroupAddr is the decomposed location of a page group.
+type GroupAddr struct {
+	DieRow int // die index within each channel
+	Block  int // block index within the die row
+	Page   int // page index within the block
+}
+
+// Decompose splits a linear physical group index into its die-row, block,
+// and page coordinates. Consecutive group indices rotate across die rows so
+// that log-structured writes interleave dies, as the FPGA controllers do.
+func (g Geometry) Decompose(pg PhysGroup) GroupAddr {
+	rows := int64(g.DieRows())
+	perRow := int64(g.BlocksPerDie) * int64(g.PagesPerBlock)
+	row := int64(pg) % rows
+	q := int64(pg) / rows
+	if q >= perRow {
+		panic(fmt.Sprintf("flash: group %d beyond capacity", pg))
+	}
+	return GroupAddr{
+		DieRow: int(row),
+		Block:  int(q / int64(g.PagesPerBlock)),
+		Page:   int(q % int64(g.PagesPerBlock)),
+	}
+}
+
+// Compose is the inverse of Decompose.
+func (g Geometry) Compose(a GroupAddr) PhysGroup {
+	q := int64(a.Block)*int64(g.PagesPerBlock) + int64(a.Page)
+	return PhysGroup(q*int64(g.DieRows()) + int64(a.DieRow))
+}
+
+// SuperBlockOf returns the super block containing a page group.
+func (g Geometry) SuperBlockOf(pg PhysGroup) SuperBlock {
+	a := g.Decompose(pg)
+	return SuperBlock(a.DieRow*g.BlocksPerDie + a.Block)
+}
+
+// GroupsOf returns the page-group range of a super block: the group for each
+// page index. Metadata groups come first.
+func (g Geometry) GroupsOf(sb SuperBlock) []PhysGroup {
+	row := int(sb) / g.BlocksPerDie
+	block := int(sb) % g.BlocksPerDie
+	out := make([]PhysGroup, g.PagesPerBlock)
+	for p := 0; p < g.PagesPerBlock; p++ {
+		out[p] = g.Compose(GroupAddr{DieRow: row, Block: block, Page: p})
+	}
+	return out
+}
+
+// Backbone is the simulated flash array.
+type Backbone struct {
+	Geo Geometry
+	Tim Timing
+
+	// Functional controls whether page payloads are stored. Timing-only
+	// runs (the large paper-scale sweeps) leave it off to bound memory.
+	Functional bool
+
+	channels []*sim.Pipe     // data bus per channel
+	dies     []*sim.Resource // sensing/program occupancy per (channel, dieRow)
+	// wb drains buffered host writes at the aggregate program rate without
+	// stalling reads: DDR3L "can take over the roles of the traditional
+	// SSD internal cache" (paper §2.2), so data-path programs are absorbed
+	// and flushed behind foreground reads. GC migrations, journals, and
+	// erases still occupy dies directly.
+	wb         *sim.Pipe
+	wbPrograms int64
+
+	erases   []int64 // per super block
+	programs int64
+	reads    int64
+	store    map[PhysGroup][]byte
+}
+
+// NewBackbone builds a backbone with the given geometry and timing.
+func NewBackbone(geo Geometry, tim Timing) (*Backbone, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Backbone{Geo: geo, Tim: tim, store: make(map[PhysGroup][]byte)}
+	b.channels = make([]*sim.Pipe, geo.Channels)
+	for c := range b.channels {
+		b.channels[c] = sim.NewPipe(fmt.Sprintf("flash-ch%d", c), tim.ChannelBW)
+	}
+	b.dies = make([]*sim.Resource, geo.Channels*geo.DieRows())
+	for i := range b.dies {
+		b.dies[i] = sim.NewResource(fmt.Sprintf("die-%d", i))
+	}
+	// Aggregate program rate: every die row can program one group (one
+	// multi-plane page per die) per ProgramPage.
+	wbBW := units.Bandwidth(int64(geo.DieRows()) * geo.GroupSize() * int64(units.Second) / int64(tim.ProgramPage))
+	if wbBW <= 0 {
+		return nil, fmt.Errorf("flash: degenerate write-back bandwidth")
+	}
+	b.wb = sim.NewPipe("flash-writeback", wbBW)
+	b.erases = make([]int64, geo.SuperBlocks())
+	return b, nil
+}
+
+func (b *Backbone) die(ch, row int) *sim.Resource { return b.dies[ch*b.Geo.DieRows()+row] }
+
+// ReadGroup books a page-group read requested at time at and returns when
+// the data is available on the channel side. All channels sense in parallel;
+// each channel then moves planes-per-die pages over its bus.
+func (b *Backbone) ReadGroup(at sim.Time, pg PhysGroup) sim.Time {
+	a := b.Geo.Decompose(pg)
+	perCh := int64(b.Geo.PlanesPerDie) * b.Geo.PageSize
+	done := at
+	for ch := 0; ch < b.Geo.Channels; ch++ {
+		_, senseEnd := b.die(ch, a.DieRow).Reserve(at, b.Tim.ReadPage)
+		_, xferEnd := b.channels[ch].Transfer(senseEnd, perCh)
+		if xferEnd > done {
+			done = xferEnd
+		}
+	}
+	b.reads++
+	return done
+}
+
+// ProgramGroup books a page-group program requested at time at and returns
+// when the program completes on all dies. Data moves over each channel bus
+// first, then the dies program in parallel.
+func (b *Backbone) ProgramGroup(at sim.Time, pg PhysGroup) sim.Time {
+	a := b.Geo.Decompose(pg)
+	perCh := int64(b.Geo.PlanesPerDie) * b.Geo.PageSize
+	done := at
+	for ch := 0; ch < b.Geo.Channels; ch++ {
+		_, xferEnd := b.channels[ch].Transfer(at, perCh)
+		_, progEnd := b.die(ch, a.DieRow).Reserve(xferEnd, b.Tim.ProgramPage)
+		if progEnd > done {
+			done = progEnd
+		}
+	}
+	b.programs++
+	return done
+}
+
+// ProgramGroupBuffered books a host write drained from the DDR3L write
+// buffer: it consumes the aggregate program bandwidth of the backbone but
+// does not stall foreground reads on the dies. It returns the drain time.
+func (b *Backbone) ProgramGroupBuffered(at sim.Time, pg PhysGroup) sim.Time {
+	_, end := b.wb.Transfer(at, b.Geo.GroupSize())
+	b.programs++
+	b.wbPrograms++
+	return end
+}
+
+// EraseSuper books a super-block erase and returns its completion time.
+func (b *Backbone) EraseSuper(at sim.Time, sb SuperBlock) sim.Time {
+	row := int(sb) / b.Geo.BlocksPerDie
+	done := at
+	for ch := 0; ch < b.Geo.Channels; ch++ {
+		_, end := b.die(ch, row).Reserve(at, b.Tim.EraseBlock)
+		if end > done {
+			done = end
+		}
+	}
+	b.erases[sb]++
+	if b.Functional {
+		for _, pg := range b.Geo.GroupsOf(sb) {
+			delete(b.store, pg)
+		}
+	}
+	return done
+}
+
+// Store saves a functional payload for a page group. It is a no-op unless
+// Functional is set. The payload is copied.
+func (b *Backbone) Store(pg PhysGroup, data []byte) {
+	if !b.Functional {
+		return
+	}
+	if int64(len(data)) > b.Geo.GroupSize() {
+		panic(fmt.Sprintf("flash: payload %d exceeds group size %d", len(data), b.Geo.GroupSize()))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.store[pg] = cp
+}
+
+// Load returns the functional payload for a page group, or nil if none (or
+// if the backbone is timing-only).
+func (b *Backbone) Load(pg PhysGroup) []byte { return b.store[pg] }
+
+// Move copies the functional payload from src to dst (used by GC migration).
+func (b *Backbone) Move(src, dst PhysGroup) {
+	if !b.Functional {
+		return
+	}
+	if d, ok := b.store[src]; ok {
+		b.store[dst] = d
+		delete(b.store, src)
+	}
+}
+
+// EraseCount returns the erase count of a super block.
+func (b *Backbone) EraseCount(sb SuperBlock) int64 { return b.erases[sb] }
+
+// TotalErases returns the sum of all erase counts.
+func (b *Backbone) TotalErases() int64 {
+	var n int64
+	for _, e := range b.erases {
+		n += e
+	}
+	return n
+}
+
+// Reads and Programs return operation counts; ChannelBusy returns the total
+// busy time across channel buses (for energy accounting).
+func (b *Backbone) Reads() int64    { return b.reads }
+func (b *Backbone) Programs() int64 { return b.programs }
+
+// ChannelBusy returns the summed busy time of all channel buses.
+func (b *Backbone) ChannelBusy() units.Duration {
+	var d units.Duration
+	for _, c := range b.channels {
+		d += c.Busy()
+	}
+	return d
+}
+
+// DieBusy returns the summed busy time of all dies, including the die time
+// buffered programs consume while draining (each buffered group programs
+// one die on every channel of its row for ProgramPage).
+func (b *Backbone) DieBusy() units.Duration {
+	d := units.Duration(b.wbPrograms) * b.Tim.ProgramPage * units.Duration(b.Geo.Channels)
+	for _, r := range b.dies {
+		d += r.Busy()
+	}
+	return d
+}
+
+// BusyUntil returns the latest instant any die, channel, or the write-back
+// drain is booked, which bounds the device-side drain time.
+func (b *Backbone) BusyUntil() sim.Time {
+	t := b.wb.FreeAt()
+	for _, c := range b.channels {
+		if c.FreeAt() > t {
+			t = c.FreeAt()
+		}
+	}
+	for _, r := range b.dies {
+		if r.FreeAt() > t {
+			t = r.FreeAt()
+		}
+	}
+	return t
+}

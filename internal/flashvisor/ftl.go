@@ -1,0 +1,319 @@
+// Package flashvisor implements the LWP that self-governs the flash
+// backbone (paper §3.3, §4.3): log-structured page-group address
+// translation with the mapping table resident in scratchpad, range-lock
+// protection over flash-mapped data sections, and the allocation machinery
+// Storengine's garbage collector drives.
+package flashvisor
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+)
+
+// FTL is the page-group-granularity flash translation layer. It is a pure
+// state machine — timing lives in the Visor — so garbage-collection policy
+// and mapping invariants are testable in isolation.
+//
+// The log head stripes across die rows: one active super block is kept per
+// die row and consecutive allocations rotate rows, so sequential data
+// enjoys full die parallelism on later reads (the FPGA controllers
+// interleave writes the same way).
+type FTL struct {
+	geo flash.Geometry
+
+	// table maps logical group -> physical group (-1 when unmapped); it is
+	// the structure that occupies 2 MB of scratchpad at full geometry.
+	table []int32
+	// rev maps physical group -> logical group (-1 when free/invalid),
+	// which GC migration needs to retarget mappings.
+	rev []int32
+
+	freeSBs   [][]flash.SuperBlock // per die row: erased, ready
+	usedSBs   []flash.SuperBlock   // filled, in round-robin reclaim order
+	active    []flash.SuperBlock   // per die row
+	hasActive []bool
+	cursor    []int // next page index within each row's active super block
+	allocRow  int   // rotating row for the next allocation
+
+	logicalGroups int64
+	validPerSB    []int32
+}
+
+// gcReserve is the number of free super blocks withheld per die row from
+// host writes so a reclaim always has somewhere to migrate a fully-valid
+// victim.
+const gcReserve = 1
+
+// NewFTL builds a formatted FTL over the geometry. op is the
+// over-provisioning fraction withheld from the logical space so reclaim
+// always has landing room (default 7%).
+func NewFTL(geo flash.Geometry, op float64) (*FTL, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if op < 0.01 || op > 0.5 {
+		return nil, fmt.Errorf("flashvisor: over-provisioning %.2f outside [0.01, 0.5]", op)
+	}
+	rows := geo.DieRows()
+	dataGroups := int64(geo.SuperBlocks()) * int64(geo.DataGroupsPerSuperBlock())
+	logical := int64(float64(dataGroups) * (1 - op))
+	// Garbage collection needs slack: with every logical group live, the
+	// device must still hold the GC reserve plus one reclaimable super
+	// block's worth of invalid/free groups per row, or round-robin reclaim
+	// can cycle through fully-valid victims forever.
+	if max := dataGroups - int64(gcReserve+1)*int64(rows)*int64(geo.DataGroupsPerSuperBlock()); logical > max {
+		logical = max
+	}
+	if logical <= 0 {
+		return nil, fmt.Errorf("flashvisor: geometry too small for GC slack (%d data groups)", dataGroups)
+	}
+	f := &FTL{
+		geo:           geo,
+		table:         make([]int32, logical),
+		rev:           make([]int32, geo.TotalGroups()),
+		validPerSB:    make([]int32, geo.SuperBlocks()),
+		logicalGroups: logical,
+		freeSBs:       make([][]flash.SuperBlock, rows),
+		active:        make([]flash.SuperBlock, rows),
+		hasActive:     make([]bool, rows),
+		cursor:        make([]int, rows),
+	}
+	for i := range f.table {
+		f.table[i] = -1
+	}
+	for i := range f.rev {
+		f.rev[i] = -1
+	}
+	for sb := 0; sb < geo.SuperBlocks(); sb++ {
+		row := sb / geo.BlocksPerDie
+		f.freeSBs[row] = append(f.freeSBs[row], flash.SuperBlock(sb))
+	}
+	return f, nil
+}
+
+// LogicalGroups returns the exposed logical address space in page groups.
+func (f *FTL) LogicalGroups() int64 { return f.logicalGroups }
+
+// LogicalBytes returns the exposed byte capacity.
+func (f *FTL) LogicalBytes() int64 { return f.logicalGroups * f.geo.GroupSize() }
+
+// FreeSuperBlocks returns the total free pool size across die rows.
+func (f *FTL) FreeSuperBlocks() int {
+	n := 0
+	for _, p := range f.freeSBs {
+		n += len(p)
+	}
+	return n
+}
+
+// Lookup translates a logical group, reporting whether it is mapped.
+func (f *FTL) Lookup(lg int64) (flash.PhysGroup, bool) {
+	if lg < 0 || lg >= f.logicalGroups {
+		return 0, false
+	}
+	pg := f.table[lg]
+	if pg < 0 {
+		return 0, false
+	}
+	return flash.PhysGroup(pg), true
+}
+
+// ErrNoSpace is returned when allocation needs a reclaim first.
+var ErrNoSpace = fmt.Errorf("flashvisor: no free page groups (reclaim required)")
+
+// rowCanAlloc reports whether a row can hand out a group under the reserve.
+func (f *FTL) rowCanAlloc(row, reserve int) bool {
+	if f.hasActive[row] && f.cursor[row] < f.geo.GroupsPerSuperBlock() {
+		return true
+	}
+	return len(f.freeSBs[row]) > reserve
+}
+
+// Alloc returns the next physical group at the striped log head. It skips
+// the metadata pages at the front of each block and pulls a fresh super
+// block from the row's free pool on rollover. Host writes (gc=false) may
+// not dip into the GC reserve; migration writes (gc=true) may. The returned
+// bool reports whether a rollover happened (the caller charges
+// metadata-journal writes for the newly opened super block).
+func (f *FTL) Alloc(gc bool) (flash.PhysGroup, bool, error) {
+	reserve := gcReserve
+	if gc {
+		reserve = 0
+	}
+	rows := f.geo.DieRows()
+	row := -1
+	for i := 0; i < rows; i++ {
+		r := (f.allocRow + i) % rows
+		if f.rowCanAlloc(r, reserve) {
+			row = r
+			break
+		}
+	}
+	if row < 0 {
+		return 0, false, ErrNoSpace
+	}
+	f.allocRow = (row + 1) % rows
+
+	rolled := false
+	if !f.hasActive[row] || f.cursor[row] >= f.geo.GroupsPerSuperBlock() {
+		if f.hasActive[row] {
+			f.usedSBs = append(f.usedSBs, f.active[row])
+			f.hasActive[row] = false
+		}
+		f.active[row] = f.freeSBs[row][0]
+		f.freeSBs[row] = f.freeSBs[row][1:]
+		f.cursor[row] = f.geo.MetaPages // skip metadata pages
+		f.hasActive[row] = true
+		rolled = true
+	}
+	block := int(f.active[row]) % f.geo.BlocksPerDie
+	pg := f.geo.Compose(flash.GroupAddr{DieRow: row, Block: block, Page: f.cursor[row]})
+	f.cursor[row]++
+	return pg, rolled, nil
+}
+
+// ActiveSuperBlock returns the most recently opened super block for the
+// given physical group's die row (the journal target after a rollover).
+func (f *FTL) ActiveSuperBlock(pg flash.PhysGroup) flash.SuperBlock {
+	return f.geo.SuperBlockOf(pg)
+}
+
+// Commit binds logical group lg to physical group pg, invalidating any
+// previous mapping of lg.
+func (f *FTL) Commit(lg int64, pg flash.PhysGroup) error {
+	if lg < 0 || lg >= f.logicalGroups {
+		return fmt.Errorf("flashvisor: logical group %d outside space of %d", lg, f.logicalGroups)
+	}
+	if old := f.table[lg]; old >= 0 {
+		f.invalidate(flash.PhysGroup(old))
+	}
+	f.table[lg] = int32(pg)
+	f.rev[pg] = int32(lg)
+	f.validPerSB[f.geo.SuperBlockOf(pg)]++
+	return nil
+}
+
+func (f *FTL) invalidate(pg flash.PhysGroup) {
+	if f.rev[pg] < 0 {
+		return
+	}
+	f.rev[pg] = -1
+	f.validPerSB[f.geo.SuperBlockOf(pg)]--
+}
+
+// ValidCount returns the valid page groups in a super block.
+func (f *FTL) ValidCount(sb flash.SuperBlock) int { return int(f.validPerSB[sb]) }
+
+// VictimRoundRobin pops the oldest used super block — the paper's
+// Storengine selects victims "from a used block pool in a round robin
+// fashion" rather than scanning the whole table for the greediest choice.
+func (f *FTL) VictimRoundRobin() (flash.SuperBlock, bool) {
+	if len(f.usedSBs) == 0 {
+		return 0, false
+	}
+	sb := f.usedSBs[0]
+	f.usedSBs = f.usedSBs[1:]
+	return sb, true
+}
+
+// VictimGreedy pops the used super block with the fewest valid groups; it
+// exists for the GC-policy ablation and costs a full pool scan.
+func (f *FTL) VictimGreedy() (flash.SuperBlock, bool) {
+	if len(f.usedSBs) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i, sb := range f.usedSBs {
+		if f.validPerSB[sb] < f.validPerSB[f.usedSBs[best]] {
+			best = i
+		}
+	}
+	sb := f.usedSBs[best]
+	f.usedSBs = append(f.usedSBs[:best], f.usedSBs[best+1:]...)
+	return sb, true
+}
+
+// ValidGroups returns the (physical, logical) pairs still valid in a super
+// block, in page order.
+func (f *FTL) ValidGroups(sb flash.SuperBlock) []MigratePair {
+	var out []MigratePair
+	for _, pg := range f.geo.GroupsOf(sb) {
+		if lg := f.rev[pg]; lg >= 0 {
+			out = append(out, MigratePair{Phys: pg, Logical: int64(lg)})
+		}
+	}
+	return out
+}
+
+// MigratePair names a valid group inside a GC victim.
+type MigratePair struct {
+	Phys    flash.PhysGroup
+	Logical int64
+}
+
+// Retarget points a logical group at its migrated location without
+// counting it as a fresh host write.
+func (f *FTL) Retarget(lg int64, dst flash.PhysGroup) {
+	old := f.table[lg]
+	if old >= 0 {
+		f.invalidate(flash.PhysGroup(old))
+	}
+	f.table[lg] = int32(dst)
+	f.rev[dst] = int32(lg)
+	f.validPerSB[f.geo.SuperBlockOf(dst)]++
+}
+
+// Release returns an erased victim to its die row's free pool.
+func (f *FTL) Release(sb flash.SuperBlock) {
+	if f.validPerSB[sb] != 0 {
+		panic(fmt.Sprintf("flashvisor: releasing super block %d with %d valid groups", sb, f.validPerSB[sb]))
+	}
+	row := int(sb) / f.geo.BlocksPerDie
+	f.freeSBs[row] = append(f.freeSBs[row], sb)
+}
+
+// UsedSuperBlocks returns the reclaim-eligible pool size.
+func (f *FTL) UsedSuperBlocks() int { return len(f.usedSBs) }
+
+// CanAllocHost reports whether a host write can allocate without
+// reclaiming. A single reclaim of a fully-valid victim nets zero free
+// space, so the foreground path loops on this predicate.
+func (f *FTL) CanAllocHost() bool {
+	for row := range f.freeSBs {
+		if f.rowCanAlloc(row, gcReserve) {
+			return true
+		}
+	}
+	return false
+}
+
+// MappingBytes returns the scratchpad footprint of the mapping table: four
+// bytes per logical group (paper §4.3: 2 MB covers 32 GB).
+func (f *FTL) MappingBytes() int64 { return int64(len(f.table)) * 4 }
+
+// CheckConsistency verifies forward/reverse mapping agreement and per-super-
+// block valid counts; tests call it after GC storms.
+func (f *FTL) CheckConsistency() error {
+	counts := make([]int32, f.geo.SuperBlocks())
+	for lg, pg := range f.table {
+		if pg < 0 {
+			continue
+		}
+		if f.rev[pg] != int32(lg) {
+			return fmt.Errorf("flashvisor: table[%d]=%d but rev[%d]=%d", lg, pg, pg, f.rev[pg])
+		}
+		counts[f.geo.SuperBlockOf(flash.PhysGroup(pg))]++
+	}
+	for pg, lg := range f.rev {
+		if lg >= 0 && f.table[lg] != int32(pg) {
+			return fmt.Errorf("flashvisor: rev[%d]=%d but table[%d]=%d", pg, lg, lg, f.table[lg])
+		}
+	}
+	for sb := range counts {
+		if counts[sb] != f.validPerSB[sb] {
+			return fmt.Errorf("flashvisor: super block %d valid count %d, recomputed %d", sb, f.validPerSB[sb], counts[sb])
+		}
+	}
+	return nil
+}

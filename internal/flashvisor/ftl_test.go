@@ -1,0 +1,282 @@
+package flashvisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/units"
+)
+
+// smallGeo returns a shrunken geometry so GC tests fill the device fast:
+// 4 channels × 1 package × 1 die × 2 planes, 8 blocks of 8 pages.
+func smallGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels:      4,
+		PackagesPerCh: 1,
+		DiesPerPkg:    1,
+		PlanesPerDie:  2,
+		PageSize:      8 * units.KB,
+		PagesPerBlock: 8,
+		BlocksPerDie:  8,
+		MetaPages:     2,
+	}
+}
+
+func TestNewFTLValidation(t *testing.T) {
+	if _, err := NewFTL(smallGeo(), 0.001); err == nil {
+		t.Error("tiny over-provisioning accepted")
+	}
+	if _, err := NewFTL(smallGeo(), 0.9); err == nil {
+		t.Error("huge over-provisioning accepted")
+	}
+	bad := smallGeo()
+	bad.Channels = 0
+	if _, err := NewFTL(bad, 0.1); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestFTLDefaultMappingFitsScratchpad(t *testing.T) {
+	f, err := NewFTL(flash.DefaultGeometry(), 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MappingBytes() > 2*units.MB {
+		t.Errorf("mapping table = %s, paper says 2MB suffices", units.FormatBytes(f.MappingBytes()))
+	}
+	if f.LogicalBytes() >= flash.DefaultGeometry().Capacity() {
+		t.Error("logical space should be smaller than raw capacity")
+	}
+}
+
+func TestAllocSkipsMetaPagesAndRotates(t *testing.T) {
+	geo := smallGeo()
+	f, err := NewFTL(geo, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, rolled, err := f.Alloc(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rolled {
+		t.Error("first allocation should open a super block")
+	}
+	a := geo.Decompose(pg)
+	if a.Page != geo.MetaPages {
+		t.Errorf("first data page = %d, want %d (after metadata)", a.Page, geo.MetaPages)
+	}
+	// Exhaust the active super block; next alloc must roll to a new one.
+	perSB := geo.DataGroupsPerSuperBlock()
+	for i := 1; i < perSB; i++ {
+		if _, r, err := f.Alloc(false); err != nil || r {
+			t.Fatalf("alloc %d: rolled=%v err=%v", i, r, err)
+		}
+	}
+	_, rolled, err = f.Alloc(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rolled {
+		t.Error("expected rollover after filling the super block")
+	}
+}
+
+func TestAllocHonorsGCReserve(t *testing.T) {
+	geo := smallGeo()
+	f, _ := NewFTL(geo, 0.1)
+	// Consume everything a host write may take.
+	n := 0
+	for {
+		_, _, err := f.Alloc(false)
+		if err == ErrNoSpace {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if f.FreeSuperBlocks() != gcReserve {
+		t.Errorf("free pool = %d, want the %d-block GC reserve", f.FreeSuperBlocks(), gcReserve)
+	}
+	// GC allocations may still proceed.
+	if _, _, err := f.Alloc(true); err != nil {
+		t.Errorf("GC alloc failed with reserve available: %v", err)
+	}
+}
+
+func TestCommitInvalidatesOldMapping(t *testing.T) {
+	f, _ := NewFTL(smallGeo(), 0.1)
+	pg1, _, _ := f.Alloc(false)
+	if err := f.Commit(5, pg1); err != nil {
+		t.Fatal(err)
+	}
+	sb1 := f.geo.SuperBlockOf(pg1)
+	if f.ValidCount(sb1) != 1 {
+		t.Fatalf("valid count = %d", f.ValidCount(sb1))
+	}
+	pg2, _, _ := f.Alloc(false)
+	f.Commit(5, pg2)
+	if got, _ := f.Lookup(5); got != pg2 {
+		t.Errorf("lookup = %d, want %d", got, pg2)
+	}
+	var total int
+	for sb := 0; sb < f.geo.SuperBlocks(); sb++ {
+		total += f.ValidCount(flash.SuperBlock(sb))
+	}
+	if total != 1 {
+		t.Errorf("total valid = %d, want 1 (old mapping invalidated)", total)
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommitRejectsOutOfRange(t *testing.T) {
+	f, _ := NewFTL(smallGeo(), 0.1)
+	pg, _, _ := f.Alloc(false)
+	if err := f.Commit(f.LogicalGroups(), pg); err == nil {
+		t.Error("out-of-range logical group accepted")
+	}
+	if err := f.Commit(-1, pg); err == nil {
+		t.Error("negative logical group accepted")
+	}
+}
+
+func TestLookupUnmapped(t *testing.T) {
+	f, _ := NewFTL(smallGeo(), 0.1)
+	if _, ok := f.Lookup(3); ok {
+		t.Error("unmapped group reported mapped")
+	}
+	if _, ok := f.Lookup(-1); ok {
+		t.Error("negative group reported mapped")
+	}
+	if _, ok := f.Lookup(f.LogicalGroups()); ok {
+		t.Error("past-end group reported mapped")
+	}
+}
+
+func TestVictimRoundRobinIsFIFO(t *testing.T) {
+	geo := smallGeo()
+	f, _ := NewFTL(geo, 0.1)
+	perSB := geo.DataGroupsPerSuperBlock()
+	// Fill three super blocks.
+	for i := 0; i < 3*perSB+1; i++ {
+		f.Alloc(false)
+	}
+	first, ok := f.VictimRoundRobin()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	second, _ := f.VictimRoundRobin()
+	if first == second {
+		t.Error("round robin repeated a victim")
+	}
+	if first != 0 {
+		t.Errorf("first victim = %d, want the first filled super block", first)
+	}
+}
+
+func TestVictimGreedyPicksFewestValid(t *testing.T) {
+	geo := smallGeo()
+	f, _ := NewFTL(geo, 0.1)
+	perSB := geo.DataGroupsPerSuperBlock()
+	// Fill SB0 with valid data, SB1 with mostly-invalidated data.
+	for i := 0; i < perSB; i++ {
+		pg, _, _ := f.Alloc(false)
+		f.Commit(int64(i), pg)
+	}
+	for i := 0; i < perSB; i++ {
+		pg, _, _ := f.Alloc(false)
+		f.Commit(int64(100+i), pg)
+	}
+	// Overwrite the second batch: SB1 groups go invalid.
+	for i := 0; i < perSB; i++ {
+		pg, _, _ := f.Alloc(false)
+		f.Commit(int64(100+i), pg)
+	}
+	sb, ok := f.VictimGreedy()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if f.ValidCount(sb) != 0 {
+		t.Errorf("greedy picked super block with %d valid groups", f.ValidCount(sb))
+	}
+}
+
+func TestRetargetAndRelease(t *testing.T) {
+	f, _ := NewFTL(smallGeo(), 0.1)
+	pg, _, _ := f.Alloc(false)
+	f.Commit(7, pg)
+	dst, _, _ := f.Alloc(true)
+	f.Retarget(7, dst)
+	if got, _ := f.Lookup(7); got != dst {
+		t.Errorf("lookup after retarget = %d, want %d", got, dst)
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReleaseWithValidPanics(t *testing.T) {
+	f, _ := NewFTL(smallGeo(), 0.1)
+	pg, _, _ := f.Alloc(false)
+	f.Commit(0, pg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Release(f.geo.SuperBlockOf(pg))
+}
+
+func TestFTLConsistencyUnderRandomChurn(t *testing.T) {
+	geo := smallGeo()
+	f, _ := NewFTL(geo, 0.15)
+	rng := rand.New(rand.NewSource(11))
+	logical := f.LogicalGroups()
+	writes := 0
+	for step := 0; step < 2000; step++ {
+		lg := rng.Int63n(logical)
+		pg, _, err := f.Alloc(false)
+		if err == ErrNoSpace {
+			// Reclaim by hand until a host alloc can proceed: a
+			// fully-valid round-robin victim nets zero space.
+			for !f.CanAllocHost() {
+				sb, ok := f.VictimRoundRobin()
+				if !ok {
+					t.Fatal("no space and no victims")
+				}
+				for _, pair := range f.ValidGroups(sb) {
+					dst, _, err := f.Alloc(true)
+					if err != nil {
+						t.Fatalf("step %d: migration alloc: %v", step, err)
+					}
+					f.Retarget(pair.Logical, dst)
+				}
+				f.Release(sb)
+			}
+			pg, _, err = f.Alloc(false)
+			if err != nil {
+				t.Fatalf("step %d: alloc after reclaim: %v", step, err)
+			}
+		}
+		if err := f.Commit(lg, pg); err != nil {
+			t.Fatal(err)
+		}
+		writes++
+		if step%200 == 0 {
+			if err := f.CheckConsistency(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := f.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if writes != 2000 {
+		t.Errorf("completed %d writes, want 2000", writes)
+	}
+}

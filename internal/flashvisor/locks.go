@@ -1,0 +1,102 @@
+package flashvisor
+
+import (
+	"repro/internal/rbtree"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// LockMode distinguishes read and write range locks.
+type LockMode int
+
+// Lock modes; conflicts follow the paper's rule: a mapping request is
+// blocked while an overlapping range is held for the opposite mode (and
+// writes also block writes). Concurrent readers are compatible.
+const (
+	LockRead LockMode = iota
+	LockWrite
+)
+
+func (m LockMode) String() string {
+	if m == LockRead {
+		return "read"
+	}
+	return "write"
+}
+
+type lockHold struct {
+	mode    LockMode
+	owner   int
+	release sim.Time
+}
+
+// RangeLocks is Flashvisor's data-section protection (paper §4.3): a
+// red-black interval tree keyed by the start page group of each mapped
+// section, augmented with the range end. Grants are analytic: acquiring a
+// conflicting range is delayed until the conflicting holders release.
+type RangeLocks struct {
+	tree      rbtree.Tree
+	conflicts int64
+	waited    units.Duration
+}
+
+// Grant returns the earliest time at or after `at` when [start, end) may be
+// held in the given mode. It also prunes holds that released before `at`.
+func (l *RangeLocks) Grant(at sim.Time, start, end int64, mode LockMode) sim.Time {
+	grant := at
+	type expired struct {
+		s, e int64
+		v    interface{}
+	}
+	var prune []expired
+	l.tree.Overlaps(start, end, func(it rbtree.Item) bool {
+		h := it.Value.(*lockHold)
+		if h.release <= at {
+			prune = append(prune, expired{it.Start, it.End, it.Value})
+			return true
+		}
+		if mode == LockRead && h.mode == LockRead {
+			return true // shared readers
+		}
+		if h.release > grant {
+			grant = h.release
+		}
+		return true
+	})
+	for _, p := range prune {
+		l.tree.Delete(p.s, p.e, p.v)
+	}
+	if grant > at {
+		l.conflicts++
+		l.waited += grant - at
+	}
+	return grant
+}
+
+// Hold records that owner holds [start, end) in the given mode until
+// release. The returned handle releases it eagerly.
+func (l *RangeLocks) Hold(start, end int64, mode LockMode, owner int, release sim.Time) *Hold {
+	h := &lockHold{mode: mode, owner: owner, release: release}
+	l.tree.Insert(rbtree.Item{Start: start, End: end, Value: h})
+	return &Hold{locks: l, start: start, end: end, h: h}
+}
+
+// Hold is an acquired range-lock handle.
+type Hold struct {
+	locks      *RangeLocks
+	start, end int64
+	h          *lockHold
+}
+
+// Release drops the hold immediately (lazy pruning otherwise removes it
+// after its release time passes).
+func (h *Hold) Release() { h.locks.tree.Delete(h.start, h.end, h.h) }
+
+// Conflicts returns how many grants had to wait, and Waited the total delay.
+func (l *RangeLocks) Conflicts() int64 { return l.conflicts }
+
+// Waited returns the cumulative grant delay.
+func (l *RangeLocks) Waited() units.Duration { return l.waited }
+
+// Held returns the number of live holds (including expired, un-pruned ones).
+func (l *RangeLocks) Held() int { return l.tree.Len() }

@@ -1,0 +1,205 @@
+// Package host models the conventional heterogeneous system the SIMD
+// baseline runs on (paper §2.1): a host CPU driving a discrete NVMe SSD
+// through a full storage stack — per-request system-call and file-system
+// work, redundant user/kernel and marshalling copies in host DRAM — and the
+// accelerator's PCIe link. This is the datapath whose removal is the
+// paper's whole point: it accounts for 49% of execution time and 85% of
+// system energy in the motivation study.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config holds the host platform parameters (Xeon E5-2620v3 + Intel 750).
+type Config struct {
+	SSDReadBW  units.Bandwidth // NVMe sequential read
+	SSDWriteBW units.Bandwidth // NVMe sequential write
+	SSDLatency units.Duration  // per-command latency
+	// ChunkSize is the body-loop granularity: the application reads a part
+	// of the file, transfers, executes, and writes back (Fig. 3a).
+	ChunkSize int64
+	// PerReqCPU is the host CPU time per I/O request: system call, VFS,
+	// block layer, driver.
+	PerReqCPU units.Duration
+	// CopyBW is the host-DRAM memcpy bandwidth.
+	CopyBW units.Bandwidth
+	// ExtraCopies counts the redundant host-DRAM traversals per byte:
+	// user/kernel crossing plus object marshalling (paper §2.1 ❷).
+	ExtraCopies int
+}
+
+// DefaultConfig returns the testbed parameters.
+func DefaultConfig() Config {
+	return Config{
+		SSDReadBW:   2200 * units.MBps,
+		SSDWriteBW:  900 * units.MBps,
+		SSDLatency:  90 * units.Microsecond,
+		ChunkSize:   4 * units.MB,
+		PerReqCPU:   18 * units.Microsecond,
+		CopyBW:      8 * units.GBps,
+		ExtraCopies: 2,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	if c.SSDReadBW <= 0 || c.SSDWriteBW <= 0 || c.CopyBW <= 0 {
+		return fmt.Errorf("host: non-positive bandwidth in %+v", c)
+	}
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("host: non-positive chunk size")
+	}
+	if c.ExtraCopies < 0 {
+		return fmt.Errorf("host: negative copy count")
+	}
+	return nil
+}
+
+// Host is the assembled baseline platform.
+type Host struct {
+	Cfg  Config
+	Link *pcie.Link
+
+	cpu  *sim.Resource
+	dram *sim.Pipe
+	ssd  *sim.Resource
+
+	cpuStack units.Duration // CPU time in syscall/FS/driver work
+	cpuCopy  units.Duration // CPU time driving redundant copies
+	store    map[int64][]byte
+}
+
+// New builds a host around the accelerator link.
+func New(cfg Config, link *pcie.Link) (*Host, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Host{
+		Cfg:   cfg,
+		Link:  link,
+		cpu:   sim.NewResource("host-cpu"),
+		dram:  sim.NewPipe("host-dram", cfg.CopyBW),
+		ssd:   sim.NewResource("nvme-ssd"),
+		store: make(map[int64][]byte),
+	}, nil
+}
+
+// FetchToAccel moves [addr, addr+bytes) from the SSD into the accelerator's
+// DRAM: per chunk, the storage stack issues the read, the data crosses host
+// DRAM ExtraCopies times, and the PCIe DMA delivers it. Chunks serialize —
+// the conventional body loop gives the accelerator nothing to overlap with.
+// The returned data is non-nil when functional payloads were installed.
+func (h *Host) FetchToAccel(at sim.Time, addr, bytes int64) (sim.Time, []byte) {
+	if bytes <= 0 {
+		return at, nil
+	}
+	t := at
+	for off := int64(0); off < bytes; off += h.Cfg.ChunkSize {
+		n := h.Cfg.ChunkSize
+		if off+n > bytes {
+			n = bytes - off
+		}
+		t = h.chunkIn(t, n)
+	}
+	return t, h.load(addr, bytes)
+}
+
+func (h *Host) chunkIn(at sim.Time, n int64) sim.Time {
+	_, issued := h.cpu.Reserve(at, h.Cfg.PerReqCPU)
+	h.cpuStack += h.Cfg.PerReqCPU
+	_, ssdDone := h.ssd.Reserve(issued, h.Cfg.SSDLatency+h.Cfg.SSDReadBW.DurationFor(n))
+	copied := ssdDone
+	if h.Cfg.ExtraCopies > 0 {
+		copyDur := h.Cfg.CopyBW.DurationFor(n * int64(h.Cfg.ExtraCopies))
+		_, copied = h.cpu.Reserve(ssdDone, copyDur)
+		h.cpuCopy += copyDur
+		h.dram.Transfer(ssdDone, n*int64(h.Cfg.ExtraCopies))
+	}
+	return h.Link.Transfer(copied, n)
+}
+
+// StoreFromAccel moves results from the accelerator back to the SSD over
+// the inverse path.
+func (h *Host) StoreFromAccel(at sim.Time, addr, bytes int64, data []byte) sim.Time {
+	if bytes <= 0 {
+		return at
+	}
+	if data != nil {
+		h.install(addr, bytes, data)
+	}
+	t := at
+	for off := int64(0); off < bytes; off += h.Cfg.ChunkSize {
+		n := h.Cfg.ChunkSize
+		if off+n > bytes {
+			n = bytes - off
+		}
+		t = h.chunkOut(t, n)
+	}
+	return t
+}
+
+func (h *Host) chunkOut(at sim.Time, n int64) sim.Time {
+	arrived := h.Link.Transfer(at, n)
+	copied := arrived
+	if h.Cfg.ExtraCopies > 0 {
+		copyDur := h.Cfg.CopyBW.DurationFor(n * int64(h.Cfg.ExtraCopies))
+		_, copied = h.cpu.Reserve(arrived, copyDur)
+		h.cpuCopy += copyDur
+		h.dram.Transfer(arrived, n*int64(h.Cfg.ExtraCopies))
+	}
+	_, issued := h.cpu.Reserve(copied, h.Cfg.PerReqCPU)
+	h.cpuStack += h.Cfg.PerReqCPU
+	_, done := h.ssd.Reserve(issued, h.Cfg.SSDLatency+h.Cfg.SSDWriteBW.DurationFor(n))
+	return done
+}
+
+// Populate installs functional input data on the SSD without consuming
+// simulated time (experiment setup). Data may be nil for timing-only runs.
+func (h *Host) Populate(addr, bytes int64, data []byte) error {
+	if bytes <= 0 {
+		return fmt.Errorf("host: non-positive populate size %d", bytes)
+	}
+	if data != nil {
+		h.install(addr, bytes, data)
+	}
+	return nil
+}
+
+func (h *Host) install(addr, bytes int64, data []byte) {
+	cp := make([]byte, bytes)
+	copy(cp, data)
+	h.store[addr] = cp
+}
+
+// load returns functional bytes for an exact previously-installed range, or
+// nil when the range is unknown (timing-only runs).
+func (h *Host) load(addr, bytes int64) []byte {
+	d := h.store[addr]
+	if d == nil || int64(len(d)) != bytes {
+		return nil
+	}
+	out := make([]byte, bytes)
+	copy(out, d)
+	return out
+}
+
+// CPUBusy returns total host CPU occupancy; StackBusy and CopyBusy split it
+// into the paper's storage-access and data-movement shares.
+func (h *Host) CPUBusy() units.Duration { return h.cpu.Busy() }
+
+// StackBusy returns the syscall/FS/driver CPU time.
+func (h *Host) StackBusy() units.Duration { return h.cpuStack }
+
+// CopyBusy returns the redundant-copy CPU time.
+func (h *Host) CopyBusy() units.Duration { return h.cpuCopy }
+
+// SSDBusy returns the SSD active time.
+func (h *Host) SSDBusy() units.Duration { return h.ssd.Busy() }
+
+// DRAMBusy returns host DRAM copy time.
+func (h *Host) DRAMBusy() units.Duration { return h.dram.Busy() }

@@ -1,0 +1,152 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pcie"
+	"repro/internal/units"
+)
+
+func newHost(t *testing.T) *Host {
+	t.Helper()
+	link, err := pcie.New(pcie.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(DefaultConfig(), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.ChunkSize = 0
+	if bad.Validate() == nil {
+		t.Error("zero chunk accepted")
+	}
+	bad = DefaultConfig()
+	bad.SSDReadBW = 0
+	if bad.Validate() == nil {
+		t.Error("zero SSD bandwidth accepted")
+	}
+	bad = DefaultConfig()
+	bad.ExtraCopies = -1
+	if bad.Validate() == nil {
+		t.Error("negative copies accepted")
+	}
+}
+
+func TestFetchSerializesFullPath(t *testing.T) {
+	h := newHost(t)
+	n := 64 * units.MB
+	done, _ := h.FetchToAccel(0, 0, n)
+	// Lower bound: data must cross SSD, then copies, then PCIe serially.
+	minimum := h.Cfg.SSDReadBW.DurationFor(n) +
+		h.Cfg.CopyBW.DurationFor(n*int64(h.Cfg.ExtraCopies)) +
+		h.Link.Cfg.BW.DurationFor(n)
+	if done < minimum {
+		t.Errorf("fetch of 64MB done at %s, below serial lower bound %s",
+			units.FormatDuration(done), units.FormatDuration(minimum))
+	}
+	if h.SSDBusy() == 0 || h.CPUBusy() == 0 || h.DRAMBusy() == 0 {
+		t.Error("busy counters not accumulated")
+	}
+	if h.StackBusy()+h.CopyBusy() != h.CPUBusy() {
+		t.Error("CPU split does not sum to total")
+	}
+}
+
+func TestFetchEffectiveBandwidthBelowPCIe(t *testing.T) {
+	h := newHost(t)
+	n := 256 * units.MB
+	done, _ := h.FetchToAccel(0, 0, n)
+	bw := float64(n) / units.Seconds(done)
+	if bw >= 1e9 {
+		t.Errorf("effective fetch bandwidth %.0f MB/s, must be below the 1 GB/s link", bw/1e6)
+	}
+	if bw < 0.2e9 {
+		t.Errorf("effective fetch bandwidth %.0f MB/s implausibly low", bw/1e6)
+	}
+}
+
+func TestStoreUsesWriteBandwidth(t *testing.T) {
+	h := newHost(t)
+	n := 32 * units.MB
+	rd, _ := h.FetchToAccel(0, 0, n)
+	h2 := newHost(t)
+	wr := h2.StoreFromAccel(0, 0, n, nil)
+	if wr <= rd {
+		t.Errorf("store (%s) should be slower than fetch (%s): SSD writes at 900MB/s",
+			units.FormatDuration(wr), units.FormatDuration(rd))
+	}
+}
+
+func TestZeroBytesNoop(t *testing.T) {
+	h := newHost(t)
+	done, data := h.FetchToAccel(42, 0, 0)
+	if done != 42 || data != nil {
+		t.Error("zero fetch did something")
+	}
+	if h.StoreFromAccel(42, 0, 0, nil) != 42 {
+		t.Error("zero store did something")
+	}
+}
+
+func TestPerChunkCPUCharges(t *testing.T) {
+	h := newHost(t)
+	n := 16 * units.MB // 4 chunks at the 4MB default
+	h.FetchToAccel(0, 0, n)
+	if got, want := h.StackBusy(), 4*h.Cfg.PerReqCPU; got != want {
+		t.Errorf("stack CPU = %s, want %s (4 chunks)", units.FormatDuration(got), units.FormatDuration(want))
+	}
+}
+
+func TestFunctionalRoundTrip(t *testing.T) {
+	h := newHost(t)
+	payload := bytes.Repeat([]byte{7, 11}, 1000)
+	if err := h.Populate(4096, int64(len(payload)), payload); err != nil {
+		t.Fatal(err)
+	}
+	_, got := h.FetchToAccel(0, 4096, int64(len(payload)))
+	if !bytes.Equal(got, payload) {
+		t.Error("fetched data mismatch")
+	}
+	// Unknown range stays nil (timing-only).
+	if _, d := h.FetchToAccel(0, 999999, 10); d != nil {
+		t.Error("unknown range returned data")
+	}
+}
+
+func TestStoreFromAccelPersistsData(t *testing.T) {
+	h := newHost(t)
+	out := []byte("results!")
+	h.StoreFromAccel(0, 128, int64(len(out)), out)
+	_, got := h.FetchToAccel(0, 128, int64(len(out)))
+	if !bytes.Equal(got, out) {
+		t.Error("stored results not readable")
+	}
+}
+
+func TestPopulateValidation(t *testing.T) {
+	h := newHost(t)
+	if err := h.Populate(0, 0, nil); err == nil {
+		t.Error("zero populate accepted")
+	}
+}
+
+func TestNoCopiesConfig(t *testing.T) {
+	link, _ := pcie.New(pcie.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ExtraCopies = 0
+	h, err := New(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FetchToAccel(0, 0, 8*units.MB)
+	if h.CopyBusy() != 0 {
+		t.Error("copies charged with ExtraCopies=0")
+	}
+}

@@ -1,0 +1,369 @@
+// Package kdt implements the kernel description table: the ELF-like
+// executable object a host offloads to FlashAbacus (paper §4 "Kernel").
+//
+// A table carries the kernel's section layout (.text, .ddr3_arr, .heap,
+// .stack — every address points into the target LWP's L2 except the data
+// section, which Flashvisor manages) and the kernel body as an op bytecode
+// organized into microblocks and screens. The wire format is little-endian
+// with fixed-width ops and a trailing CRC-32, so a corrupted download is
+// rejected before Flashvisor boots anything.
+package kdt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic and version of the wire format.
+const (
+	Magic   = "KDT1"
+	Version = 1
+)
+
+// OpKind discriminates bytecode operations.
+type OpKind uint8
+
+// The op bytecode. Read and Write map a data section onto flash backbone
+// addresses through Flashvisor; Compute advances the VLIW cost model; Exec
+// invokes a registered builtin against the data sections (functional runs).
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpCompute
+	OpExec
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpCompute:
+		return "COMPUTE"
+	case OpExec:
+		return "EXEC"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one bytecode operation. Instruction mixes are carried in millièmes
+// so the wire format stays fixed-width.
+type Op struct {
+	Kind      OpKind
+	Section   uint8  // data-section index for Read/Write/Exec
+	Builtin   uint16 // builtin function id for Exec
+	MulMilli  uint16 // multiply fraction × 1000 for Compute
+	LdStMilli uint16 // load/store fraction × 1000 for Compute
+	FlashAddr int64  // word-based flash backbone address for Read/Write
+	Bytes     int64  // payload bytes for Read/Write
+	Instr     int64  // instruction count for Compute
+	Arg       uint32 // builtin argument
+}
+
+const opWireSize = 1 + 1 + 2 + 2 + 2 + 8 + 8 + 8 + 4 // 36 bytes
+
+// Screen is an independently schedulable partition of a microblock.
+type Screen struct {
+	Ops []Op
+}
+
+// Microblock is a data-dependent group: microblock i+1 of a kernel may not
+// start before every screen of microblock i has completed.
+type Microblock struct {
+	Screens []Screen
+}
+
+// Serial reports whether the microblock cannot be split (single screen).
+func (m Microblock) Serial() bool { return len(m.Screens) == 1 }
+
+// Section describes one loadable section.
+type Section struct {
+	Name string
+	Addr uint64
+	Size int64
+}
+
+// Standard section names.
+const (
+	SecText = ".text"
+	SecData = ".ddr3_arr"
+	SecHeap = ".heap"
+	SecStak = ".stack"
+)
+
+// Table is a decoded kernel description table.
+type Table struct {
+	Name        string
+	AppID       uint32
+	KernelID    uint32
+	Sections    []Section
+	Microblocks []Microblock
+}
+
+// DefaultSections returns the canonical section layout for a kernel whose
+// data section holds dataBytes. Text, heap, and stack live in the LWP's L2
+// address range (paper §4: everything but the data section points at L2).
+func DefaultSections(textBytes, dataBytes int64) []Section {
+	const l2Base = 0x0080_0000
+	return []Section{
+		{Name: SecText, Addr: l2Base, Size: textBytes},
+		{Name: SecData, Addr: 0x8000_0000, Size: dataBytes}, // DDR3L, Flashvisor-managed
+		{Name: SecHeap, Addr: l2Base + 0x4_0000, Size: 128 * 1024},
+		{Name: SecStak, Addr: l2Base + 0x6_0000, Size: 64 * 1024},
+	}
+}
+
+// TextSize returns the encoded size of the op bytecode, which is what the
+// .text section of an assembled table reports.
+func (t *Table) TextSize() int64 {
+	var n int64
+	for _, mb := range t.Microblocks {
+		for _, s := range mb.Screens {
+			n += int64(len(s.Ops)) * opWireSize
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants before encoding or execution.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("kdt: kernel has no name")
+	}
+	if len(t.Microblocks) == 0 {
+		return fmt.Errorf("kdt: kernel %q has no microblocks", t.Name)
+	}
+	for i, mb := range t.Microblocks {
+		if len(mb.Screens) == 0 {
+			return fmt.Errorf("kdt: kernel %q microblock %d has no screens", t.Name, i)
+		}
+		for j, s := range mb.Screens {
+			if len(s.Ops) == 0 {
+				return fmt.Errorf("kdt: kernel %q microblock %d screen %d is empty", t.Name, i, j)
+			}
+			for _, op := range s.Ops {
+				if err := validateOp(op); err != nil {
+					return fmt.Errorf("kdt: kernel %q mb %d screen %d: %w", t.Name, i, j, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateOp(op Op) error {
+	switch op.Kind {
+	case OpRead, OpWrite:
+		if op.Bytes <= 0 {
+			return fmt.Errorf("%v op with non-positive byte count %d", op.Kind, op.Bytes)
+		}
+		if op.FlashAddr < 0 {
+			return fmt.Errorf("%v op with negative flash address", op.Kind)
+		}
+	case OpCompute:
+		if op.Instr <= 0 {
+			return fmt.Errorf("COMPUTE op with non-positive instruction count %d", op.Instr)
+		}
+		if op.MulMilli+op.LdStMilli > 1000 {
+			return fmt.Errorf("COMPUTE op mix %d+%d exceeds 1000 millièmes", op.MulMilli, op.LdStMilli)
+		}
+	case OpExec:
+		// Builtin 0 is reserved as "missing".
+		if op.Builtin == 0 {
+			return fmt.Errorf("EXEC op with reserved builtin id 0")
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// Encode assembles the table into its wire format.
+func (t *Table) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Name) > 0xFFFF || len(t.Sections) > 0xFF || len(t.Microblocks) > 0xFFFF {
+		return nil, fmt.Errorf("kdt: kernel %q exceeds format limits", t.Name)
+	}
+	var b []byte
+	b = append(b, Magic...)
+	b = le16(b, Version)
+	b = le16(b, 0) // flags
+	b = le16(b, uint16(len(t.Name)))
+	b = append(b, t.Name...)
+	b = le32(b, t.AppID)
+	b = le32(b, t.KernelID)
+	b = append(b, uint8(len(t.Sections)))
+	for _, s := range t.Sections {
+		if len(s.Name) > 0xFF {
+			return nil, fmt.Errorf("kdt: section name %q too long", s.Name)
+		}
+		b = append(b, uint8(len(s.Name)))
+		b = append(b, s.Name...)
+		b = le64(b, s.Addr)
+		b = le64(b, uint64(s.Size))
+	}
+	b = le16(b, uint16(len(t.Microblocks)))
+	for _, mb := range t.Microblocks {
+		if len(mb.Screens) > 0xFFFF {
+			return nil, fmt.Errorf("kdt: too many screens")
+		}
+		b = le16(b, uint16(len(mb.Screens)))
+		for _, s := range mb.Screens {
+			if len(s.Ops) > 0xFFFF {
+				return nil, fmt.Errorf("kdt: too many ops")
+			}
+			b = le16(b, uint16(len(s.Ops)))
+			for _, op := range s.Ops {
+				b = append(b, uint8(op.Kind), op.Section)
+				b = le16(b, op.Builtin)
+				b = le16(b, op.MulMilli)
+				b = le16(b, op.LdStMilli)
+				b = le64(b, uint64(op.FlashAddr))
+				b = le64(b, uint64(op.Bytes))
+				b = le64(b, uint64(op.Instr))
+				b = le32(b, op.Arg)
+			}
+		}
+	}
+	b = le32(b, crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+// Decode parses a wire blob, verifying magic, version, bounds, and CRC.
+func Decode(b []byte) (*Table, error) {
+	if len(b) < len(Magic)+2+2+2+4 {
+		return nil, fmt.Errorf("kdt: blob too short (%d bytes)", len(b))
+	}
+	if string(b[:4]) != Magic {
+		return nil, fmt.Errorf("kdt: bad magic %q", b[:4])
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("kdt: CRC mismatch")
+	}
+	r := reader{b: body, off: 4}
+	ver := r.u16()
+	if ver != Version {
+		return nil, fmt.Errorf("kdt: unsupported version %d", ver)
+	}
+	r.u16() // flags
+	t := &Table{}
+	t.Name = string(r.bytes(int(r.u16())))
+	t.AppID = r.u32()
+	t.KernelID = r.u32()
+	nSec := int(r.u8())
+	t.Sections = make([]Section, 0, nSec)
+	for i := 0; i < nSec; i++ {
+		var s Section
+		s.Name = string(r.bytes(int(r.u8())))
+		s.Addr = r.u64()
+		s.Size = int64(r.u64())
+		t.Sections = append(t.Sections, s)
+	}
+	nMB := int(r.u16())
+	t.Microblocks = make([]Microblock, 0, nMB)
+	for i := 0; i < nMB; i++ {
+		nScr := int(r.u16())
+		mb := Microblock{Screens: make([]Screen, 0, nScr)}
+		for j := 0; j < nScr; j++ {
+			nOps := int(r.u16())
+			scr := Screen{Ops: make([]Op, 0, nOps)}
+			for k := 0; k < nOps; k++ {
+				var op Op
+				op.Kind = OpKind(r.u8())
+				op.Section = r.u8()
+				op.Builtin = r.u16()
+				op.MulMilli = r.u16()
+				op.LdStMilli = r.u16()
+				op.FlashAddr = int64(r.u64())
+				op.Bytes = int64(r.u64())
+				op.Instr = int64(r.u64())
+				op.Arg = r.u32()
+				scr.Ops = append(scr.Ops, op)
+			}
+			mb.Screens = append(mb.Screens, scr)
+		}
+		t.Microblocks = append(t.Microblocks, mb)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("kdt: truncated table: %w", r.err)
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("kdt: %d trailing bytes", len(body)-r.off)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func le16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func le32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func le64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}

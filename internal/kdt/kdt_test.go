@@ -1,0 +1,242 @@
+package kdt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name:     "atax",
+		AppID:    3,
+		KernelID: 17,
+		Sections: DefaultSections(1024, 640<<20),
+		Microblocks: []Microblock{
+			{Screens: []Screen{
+				{Ops: []Op{
+					{Kind: OpRead, Section: 1, FlashAddr: 0, Bytes: 320 << 20},
+					{Kind: OpCompute, Instr: 1e9, MulMilli: 150, LdStMilli: 456},
+					{Kind: OpExec, Section: 1, Builtin: 7, Arg: 42},
+					{Kind: OpWrite, Section: 1, FlashAddr: 1 << 30, Bytes: 16 << 20},
+				}},
+				{Ops: []Op{
+					{Kind: OpRead, Section: 1, FlashAddr: 320 << 20, Bytes: 320 << 20},
+					{Kind: OpCompute, Instr: 1e9, MulMilli: 150, LdStMilli: 456},
+				}},
+			}},
+			{Screens: []Screen{
+				{Ops: []Op{{Kind: OpCompute, Instr: 5e8, LdStMilli: 300}}},
+			}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleTable()
+	blob, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.AppID != want.AppID || got.KernelID != want.KernelID {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Sections) != len(want.Sections) {
+		t.Fatalf("sections = %d, want %d", len(got.Sections), len(want.Sections))
+	}
+	for i := range want.Sections {
+		if got.Sections[i] != want.Sections[i] {
+			t.Errorf("section %d = %+v, want %+v", i, got.Sections[i], want.Sections[i])
+		}
+	}
+	if len(got.Microblocks) != len(want.Microblocks) {
+		t.Fatalf("microblocks = %d", len(got.Microblocks))
+	}
+	for i := range want.Microblocks {
+		ws, gs := want.Microblocks[i].Screens, got.Microblocks[i].Screens
+		if len(ws) != len(gs) {
+			t.Fatalf("mb %d screens = %d, want %d", i, len(gs), len(ws))
+		}
+		for j := range ws {
+			if len(ws[j].Ops) != len(gs[j].Ops) {
+				t.Fatalf("mb %d screen %d ops mismatch", i, j)
+			}
+			for k := range ws[j].Ops {
+				if ws[j].Ops[k] != gs[j].Ops[k] {
+					t.Errorf("op %d/%d/%d = %+v, want %+v", i, j, k, gs[j].Ops[k], ws[j].Ops[k])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	blob, err := sampleTable().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 5, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0xFF
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("corruption at byte %d accepted", off)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	blob, _ := sampleTable().Encode()
+	for _, n := range []int{0, 3, 10, len(blob) - 5} {
+		if _, err := Decode(blob[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	blob, _ := sampleTable().Encode()
+	// Valid CRC over extended body will not match; craft instead a blob
+	// with junk between body and CRC by re-encoding with appended bytes.
+	bad := append([]byte(nil), blob...)
+	bad = append(bad, 0xEE)
+	if _, err := Decode(bad); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestValidateCatchesBadKernels(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+		want   string
+	}{
+		{"empty name", func(t *Table) { t.Name = "" }, "no name"},
+		{"no microblocks", func(t *Table) { t.Microblocks = nil }, "no microblocks"},
+		{"empty screen", func(t *Table) { t.Microblocks[0].Screens[0].Ops = nil }, "empty"},
+		{"zero-byte read", func(t *Table) { t.Microblocks[0].Screens[0].Ops[0].Bytes = 0 }, "non-positive byte"},
+		{"negative flash addr", func(t *Table) { t.Microblocks[0].Screens[0].Ops[0].FlashAddr = -1 }, "negative flash"},
+		{"zero instr", func(t *Table) { t.Microblocks[0].Screens[0].Ops[1].Instr = 0 }, "non-positive instruction"},
+		{"mix over 1000", func(t *Table) { t.Microblocks[0].Screens[0].Ops[1].MulMilli = 900 }, "exceeds 1000"},
+		{"builtin zero", func(t *Table) { t.Microblocks[0].Screens[0].Ops[2].Builtin = 0 }, "reserved builtin"},
+		{"bad kind", func(t *Table) { t.Microblocks[0].Screens[0].Ops[0].Kind = 99 }, "unknown op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := sampleTable()
+			tc.mutate(tab)
+			err := tab.Validate()
+			if err == nil {
+				t.Fatal("validation passed")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSerialMicroblock(t *testing.T) {
+	tab := sampleTable()
+	if tab.Microblocks[0].Serial() {
+		t.Error("two-screen microblock reported serial")
+	}
+	if !tab.Microblocks[1].Serial() {
+		t.Error("one-screen microblock not reported serial")
+	}
+}
+
+func TestTextSize(t *testing.T) {
+	tab := sampleTable()
+	if got := tab.TextSize(); got != 7*opWireSize {
+		t.Errorf("TextSize = %d, want %d", got, 7*opWireSize)
+	}
+}
+
+func TestDefaultSectionsLayout(t *testing.T) {
+	secs := DefaultSections(100, 640<<20)
+	if len(secs) != 4 {
+		t.Fatalf("sections = %d, want 4", len(secs))
+	}
+	byName := map[string]Section{}
+	for _, s := range secs {
+		byName[s.Name] = s
+	}
+	// All addresses except the data section point into L2 (paper §4).
+	const l2Base, l2End = 0x0080_0000, 0x0090_0000
+	for _, n := range []string{SecText, SecHeap, SecStak} {
+		s := byName[n]
+		if s.Addr < l2Base || s.Addr >= l2End {
+			t.Errorf("section %s at %#x, want inside L2 window", n, s.Addr)
+		}
+	}
+	if byName[SecData].Addr < l2End {
+		t.Error("data section should live outside L2 (DDR3L)")
+	}
+	if byName[SecData].Size != 640<<20 {
+		t.Error("data section size not propagated")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "READ" || OpWrite.String() != "WRITE" ||
+		OpCompute.String() != "COMPUTE" || OpExec.String() != "EXEC" {
+		t.Error("op kind strings wrong")
+	}
+	if OpKind(99).String() != "op(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestQuickRoundTripArbitraryOps(t *testing.T) {
+	f := func(instr uint32, bytes uint32, mul, ld uint8, builtin uint16, arg uint32) bool {
+		op := Op{
+			Kind:      OpCompute,
+			Instr:     int64(instr) + 1,
+			MulMilli:  uint16(mul) % 500,
+			LdStMilli: uint16(ld) % 500,
+		}
+		rw := Op{Kind: OpRead, Section: 1, FlashAddr: int64(arg), Bytes: int64(bytes) + 1}
+		ex := Op{Kind: OpExec, Builtin: builtin | 1, Arg: arg}
+		tab := &Table{
+			Name:        "q",
+			Microblocks: []Microblock{{Screens: []Screen{{Ops: []Op{op, rw, ex}}}}},
+		}
+		blob, err := tab.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(blob)
+		if err != nil {
+			return false
+		}
+		o := got.Microblocks[0].Screens[0].Ops
+		return o[0] == op && o[1] == rw && o[2] == ex
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tab := sampleTable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	blob, _ := sampleTable().Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

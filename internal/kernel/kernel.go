@@ -1,0 +1,337 @@
+// Package kernel holds the runtime representation of offloaded work: apps,
+// kernels, microblocks, and screens, plus the multi-app execution chain
+// (paper Fig. 8) that the intra-kernel schedulers consult for data
+// dependencies, and the builtin-function registry used by functional runs.
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/kdt"
+	"repro/internal/sim"
+)
+
+// Status is a screen's lifecycle state.
+type Status uint8
+
+// Screen lifecycle.
+const (
+	Pending Status = iota
+	Running
+	Done
+)
+
+// Screen is the unit of dispatch.
+type Screen struct {
+	Ops []kdt.Op
+
+	// Identity within the chain.
+	App, Kernel, MB, Idx int
+
+	Status Status
+	LWP    int
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Ref renders the screen's identity for logs and errors.
+func (s *Screen) Ref() string {
+	return fmt.Sprintf("a%d/k%d/m%d/s%d", s.App, s.Kernel, s.MB, s.Idx)
+}
+
+// InputBytes sums the READ op payloads.
+func (s *Screen) InputBytes() int64 {
+	var n int64
+	for _, op := range s.Ops {
+		if op.Kind == kdt.OpRead {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+// OutputBytes sums the WRITE op payloads.
+func (s *Screen) OutputBytes() int64 {
+	var n int64
+	for _, op := range s.Ops {
+		if op.Kind == kdt.OpWrite {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+// Instructions sums the COMPUTE op instruction counts.
+func (s *Screen) Instructions() int64 {
+	var n int64
+	for _, op := range s.Ops {
+		if op.Kind == kdt.OpCompute {
+			n += op.Instr
+		}
+	}
+	return n
+}
+
+// Microblock groups screens that may run concurrently; successive
+// microblocks of a kernel are data dependent and serialize.
+type Microblock struct {
+	Screens []*Screen
+	done    int
+}
+
+// Serial reports whether the microblock has exactly one screen.
+func (m *Microblock) Serial() bool { return len(m.Screens) == 1 }
+
+// Done reports whether every screen completed.
+func (m *Microblock) Done() bool { return m.done == len(m.Screens) }
+
+// Kernel is one offloaded instruction stream.
+type Kernel struct {
+	Name string
+	ID   int // index within the app
+	App  int // owning app index
+
+	MBs      []*Microblock
+	Sections map[uint8][]byte // functional data-section buffers
+
+	IssueAt sim.Time
+	DoneAt  sim.Time
+	doneMBs int
+}
+
+// Done reports whether every microblock completed.
+func (k *Kernel) Done() bool { return k.doneMBs == len(k.MBs) }
+
+// Bytes sums all READ payloads across the kernel; it is the data volume the
+// throughput metrics count.
+func (k *Kernel) Bytes() int64 {
+	var n int64
+	for _, mb := range k.MBs {
+		for _, s := range mb.Screens {
+			n += s.InputBytes()
+		}
+	}
+	return n
+}
+
+// FromKDT instantiates a runtime kernel from a decoded description table.
+func FromKDT(t *kdt.Table, appIdx, kernelIdx int) *Kernel {
+	k := &Kernel{Name: t.Name, ID: kernelIdx, App: appIdx, Sections: make(map[uint8][]byte)}
+	for mi, mb := range t.Microblocks {
+		rm := &Microblock{}
+		for si, scr := range mb.Screens {
+			rm.Screens = append(rm.Screens, &Screen{
+				Ops: scr.Ops, App: appIdx, Kernel: kernelIdx, MB: mi, Idx: si,
+			})
+		}
+		k.MBs = append(k.MBs, rm)
+	}
+	return k
+}
+
+// App is a user application carrying one or more kernels.
+type App struct {
+	Name    string
+	ID      int
+	Kernels []*Kernel
+
+	DoneAt  sim.Time
+	doneKs  int
+	arrival sim.Time
+}
+
+// Done reports whether every kernel completed.
+func (a *App) Done() bool { return a.doneKs == len(a.Kernels) }
+
+// Policy selects the dependency-resolution rule the chain applies when
+// enumerating dispatchable screens.
+type Policy int
+
+// InOrder admits only each app's oldest incomplete kernel (IntraIo);
+// OutOfOrder admits every kernel whose predecessor microblock completed
+// (IntraO3 borrows screens across kernel and app boundaries).
+const (
+	InOrder Policy = iota
+	OutOfOrder
+)
+
+// Chain is the multi-app execution chain (paper Fig. 8): the root holds one
+// node list per application; each node carries per-microblock screen status,
+// and node order encodes the data dependencies among microblocks.
+type Chain struct {
+	Apps []*App
+}
+
+// AddApp appends an application arriving at time at.
+func (c *Chain) AddApp(a *App, at sim.Time) {
+	a.arrival = at
+	for _, k := range a.Kernels {
+		k.IssueAt = at
+	}
+	c.Apps = append(c.Apps, a)
+}
+
+// AllDone reports whether every app completed.
+func (c *Chain) AllDone() bool {
+	for _, a := range c.Apps {
+		if !a.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Kernels returns every kernel in arrival order.
+func (c *Chain) Kernels() []*Kernel {
+	var out []*Kernel
+	for _, a := range c.Apps {
+		out = append(out, a.Kernels...)
+	}
+	return out
+}
+
+// frontMB returns the kernel's oldest incomplete microblock if its
+// predecessor completed, else nil.
+func frontMB(k *Kernel) *Microblock {
+	for _, mb := range k.MBs {
+		if !mb.Done() {
+			return mb
+		}
+	}
+	return nil
+}
+
+// Ready appends to dst the dispatchable screens under the policy, ordered by
+// (app arrival, kernel index, microblock index, screen index), and returns
+// the extended slice. A screen is dispatchable when it is pending and every
+// screen of the kernel's previous microblock has completed.
+func (c *Chain) Ready(policy Policy, dst []*Screen) []*Screen {
+	for _, a := range c.Apps {
+		for _, k := range a.Kernels {
+			if k.Done() {
+				continue
+			}
+			mb := frontMB(k)
+			if mb != nil {
+				for _, s := range mb.Screens {
+					if s.Status == Pending {
+						dst = append(dst, s)
+					}
+				}
+			}
+			if policy == InOrder {
+				break // only the app's oldest incomplete kernel
+			}
+		}
+	}
+	return dst
+}
+
+// MarkRunning transitions a screen to Running on the given LWP.
+func (c *Chain) MarkRunning(s *Screen, lwpID int, at sim.Time) {
+	if s.Status != Pending {
+		panic(fmt.Sprintf("kernel: %s dispatched twice", s.Ref()))
+	}
+	s.Status = Running
+	s.LWP = lwpID
+	s.Start = at
+}
+
+// Completion flags returned by MarkDone.
+type Completion struct {
+	MBDone     bool
+	KernelDone bool
+	AppDone    bool
+}
+
+// MarkDone transitions a screen to Done and updates the dependency chain.
+func (c *Chain) MarkDone(s *Screen, at sim.Time) Completion {
+	if s.Status != Running {
+		panic(fmt.Sprintf("kernel: %s completed while %d", s.Ref(), s.Status))
+	}
+	s.Status = Done
+	s.End = at
+	a := c.Apps[s.App]
+	k := a.Kernels[s.Kernel]
+	mb := k.MBs[s.MB]
+	mb.done++
+	var comp Completion
+	if mb.Done() {
+		comp.MBDone = true
+		k.doneMBs++
+		if k.Done() {
+			comp.KernelDone = true
+			k.DoneAt = at
+			a.doneKs++
+			if a.Done() {
+				comp.AppDone = true
+				a.DoneAt = at
+			}
+		}
+	}
+	return comp
+}
+
+// BuiltinFunc is a registered compute function invoked by EXEC ops during
+// functional runs. The context exposes the kernel's data sections and the
+// screen's partition coordinates.
+type BuiltinFunc func(*ExecCtx) error
+
+// ExecCtx is the environment an EXEC op runs in.
+type ExecCtx struct {
+	Sections map[uint8][]byte
+	Arg      uint32
+	Screen   int // this screen's index within its microblock
+	Screens  int // total screens in the microblock
+}
+
+var builtins = map[uint16]struct {
+	name string
+	fn   BuiltinFunc
+}{}
+
+// RegisterBuiltin installs fn under id. Id 0 is reserved; duplicate
+// registrations panic, matching the once-at-init usage pattern.
+func RegisterBuiltin(id uint16, name string, fn BuiltinFunc) {
+	if id == 0 {
+		panic("kernel: builtin id 0 is reserved")
+	}
+	if _, dup := builtins[id]; dup {
+		panic(fmt.Sprintf("kernel: duplicate builtin id %d (%s)", id, name))
+	}
+	builtins[id] = struct {
+		name string
+		fn   BuiltinFunc
+	}{name, fn}
+}
+
+// Builtin looks up a registered function.
+func Builtin(id uint16) (BuiltinFunc, string, bool) {
+	b, ok := builtins[id]
+	return b.fn, b.name, ok
+}
+
+// F32ToBytes serializes a float32 slice little-endian, the layout data
+// sections use on flash.
+func F32ToBytes(src []float32) []byte {
+	out := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// BytesToF32 deserializes a little-endian float32 buffer. The byte length
+// must be a multiple of four.
+func BytesToF32(src []byte) []float32 {
+	if len(src)%4 != 0 {
+		panic(fmt.Sprintf("kernel: buffer length %d not float32-aligned", len(src)))
+	}
+	out := make([]float32, len(src)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kdt"
+)
+
+// buildApp makes an app with the given per-kernel microblock shapes, where
+// each shape entry is the screen count of one microblock.
+func buildApp(appIdx int, kernelShapes [][]int) *App {
+	a := &App{Name: "test", ID: appIdx}
+	for ki, shape := range kernelShapes {
+		k := &Kernel{Name: "k", ID: ki, App: appIdx}
+		for mi, screens := range shape {
+			mb := &Microblock{}
+			for si := 0; si < screens; si++ {
+				mb.Screens = append(mb.Screens, &Screen{
+					Ops: []kdt.Op{{Kind: kdt.OpCompute, Instr: 1000}},
+					App: appIdx, Kernel: ki, MB: mi, Idx: si,
+				})
+			}
+			k.MBs = append(k.MBs, mb)
+		}
+		a.Kernels = append(a.Kernels, k)
+	}
+	return a
+}
+
+func TestScreenAggregates(t *testing.T) {
+	s := &Screen{Ops: []kdt.Op{
+		{Kind: kdt.OpRead, Bytes: 100},
+		{Kind: kdt.OpRead, Bytes: 50},
+		{Kind: kdt.OpCompute, Instr: 999},
+		{Kind: kdt.OpWrite, Bytes: 25},
+	}}
+	if s.InputBytes() != 150 {
+		t.Errorf("InputBytes = %d", s.InputBytes())
+	}
+	if s.OutputBytes() != 25 {
+		t.Errorf("OutputBytes = %d", s.OutputBytes())
+	}
+	if s.Instructions() != 999 {
+		t.Errorf("Instructions = %d", s.Instructions())
+	}
+	if s.Ref() == "" {
+		t.Error("empty Ref")
+	}
+}
+
+func TestFromKDTPreservesStructure(t *testing.T) {
+	tab := &kdt.Table{
+		Name: "fdtd",
+		Microblocks: []kdt.Microblock{
+			{Screens: []kdt.Screen{{Ops: []kdt.Op{{Kind: kdt.OpCompute, Instr: 1}}}}},
+			{Screens: []kdt.Screen{
+				{Ops: []kdt.Op{{Kind: kdt.OpCompute, Instr: 2}}},
+				{Ops: []kdt.Op{{Kind: kdt.OpCompute, Instr: 3}}},
+			}},
+		},
+	}
+	k := FromKDT(tab, 4, 9)
+	if k.Name != "fdtd" || k.App != 4 || k.ID != 9 {
+		t.Errorf("identity = %+v", k)
+	}
+	if len(k.MBs) != 2 || len(k.MBs[1].Screens) != 2 {
+		t.Fatal("structure lost")
+	}
+	s := k.MBs[1].Screens[1]
+	if s.App != 4 || s.Kernel != 9 || s.MB != 1 || s.Idx != 1 {
+		t.Errorf("screen identity = %+v", s)
+	}
+	if !k.MBs[0].Serial() || k.MBs[1].Serial() {
+		t.Error("Serial misreported")
+	}
+}
+
+func TestChainReadyRespectsMicroblockOrder(t *testing.T) {
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{2, 3}}), 0)
+	ready := c.Ready(OutOfOrder, nil)
+	if len(ready) != 2 {
+		t.Fatalf("ready = %d screens, want 2 (only mb0)", len(ready))
+	}
+	for _, s := range ready {
+		c.MarkRunning(s, 0, 0)
+	}
+	// mb1 must stay blocked until every mb0 screen completes.
+	c.MarkDone(ready[0], 10)
+	if got := c.Ready(OutOfOrder, nil); len(got) != 0 {
+		t.Fatalf("mb1 released early: %d screens", len(got))
+	}
+	comp := c.MarkDone(ready[1], 20)
+	if !comp.MBDone || comp.KernelDone {
+		t.Errorf("completion flags = %+v", comp)
+	}
+	if got := c.Ready(OutOfOrder, nil); len(got) != 3 {
+		t.Fatalf("mb1 not released: %d screens", len(got))
+	}
+}
+
+func TestChainInOrderVsOutOfOrder(t *testing.T) {
+	// One app, two kernels. In-order exposes only kernel 0; out-of-order
+	// borrows kernel 1's first microblock too (paper Fig. 7c).
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{1}, {2}}), 0)
+	if got := c.Ready(InOrder, nil); len(got) != 1 {
+		t.Errorf("in-order ready = %d, want 1", len(got))
+	}
+	if got := c.Ready(OutOfOrder, nil); len(got) != 3 {
+		t.Errorf("out-of-order ready = %d, want 3", len(got))
+	}
+}
+
+func TestChainMultipleAppsConcurrent(t *testing.T) {
+	// Apps are independent even in-order (Fig. 7b runs k0 and k2 at once).
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{2}}), 0)
+	c.AddApp(buildApp(1, [][]int{{2}}), 0)
+	if got := c.Ready(InOrder, nil); len(got) != 4 {
+		t.Errorf("two-app in-order ready = %d, want 4", len(got))
+	}
+}
+
+func TestChainOrdering(t *testing.T) {
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{1}, {1}}), 0)
+	c.AddApp(buildApp(1, [][]int{{1}}), 0)
+	ready := c.Ready(OutOfOrder, nil)
+	if len(ready) != 3 {
+		t.Fatalf("ready = %d", len(ready))
+	}
+	if ready[0].App != 0 || ready[0].Kernel != 0 ||
+		ready[1].App != 0 || ready[1].Kernel != 1 ||
+		ready[2].App != 1 {
+		t.Errorf("ready order wrong: %s %s %s", ready[0].Ref(), ready[1].Ref(), ready[2].Ref())
+	}
+}
+
+func TestCompletionCascade(t *testing.T) {
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{1}}), 5)
+	s := c.Ready(OutOfOrder, nil)[0]
+	c.MarkRunning(s, 3, 7)
+	comp := c.MarkDone(s, 42)
+	if !comp.MBDone || !comp.KernelDone || !comp.AppDone {
+		t.Errorf("completion = %+v, want all true", comp)
+	}
+	if !c.AllDone() {
+		t.Error("chain not done")
+	}
+	a := c.Apps[0]
+	if a.DoneAt != 42 || a.Kernels[0].DoneAt != 42 {
+		t.Error("completion times not recorded")
+	}
+	if a.Kernels[0].IssueAt != 5 {
+		t.Errorf("issue time = %d, want arrival 5", a.Kernels[0].IssueAt)
+	}
+}
+
+func TestDoubleDispatchPanics(t *testing.T) {
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{1}}), 0)
+	s := c.Ready(OutOfOrder, nil)[0]
+	c.MarkRunning(s, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.MarkRunning(s, 1, 0)
+}
+
+func TestMarkDoneWithoutRunningPanics(t *testing.T) {
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{1}}), 0)
+	s := c.Apps[0].Kernels[0].MBs[0].Screens[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.MarkDone(s, 0)
+}
+
+func TestKernelBytes(t *testing.T) {
+	k := &Kernel{MBs: []*Microblock{
+		{Screens: []*Screen{{Ops: []kdt.Op{{Kind: kdt.OpRead, Bytes: 10}}}}},
+		{Screens: []*Screen{{Ops: []kdt.Op{{Kind: kdt.OpRead, Bytes: 20}, {Kind: kdt.OpWrite, Bytes: 99}}}}},
+	}}
+	if k.Bytes() != 30 {
+		t.Errorf("Bytes = %d, want 30 (reads only)", k.Bytes())
+	}
+}
+
+func TestChainKernels(t *testing.T) {
+	var c Chain
+	c.AddApp(buildApp(0, [][]int{{1}, {1}}), 0)
+	c.AddApp(buildApp(1, [][]int{{1}}), 0)
+	if got := len(c.Kernels()); got != 3 {
+		t.Errorf("Kernels = %d, want 3", got)
+	}
+}
+
+func TestBuiltinRegistry(t *testing.T) {
+	called := false
+	RegisterBuiltin(9999, "test-fn", func(ctx *ExecCtx) error {
+		called = true
+		return nil
+	})
+	fn, name, ok := Builtin(9999)
+	if !ok || name != "test-fn" {
+		t.Fatal("registered builtin not found")
+	}
+	fn(&ExecCtx{})
+	if !called {
+		t.Error("builtin not invoked")
+	}
+	if _, _, ok := Builtin(12345); ok {
+		t.Error("unregistered builtin found")
+	}
+}
+
+func TestBuiltinDuplicatePanics(t *testing.T) {
+	RegisterBuiltin(9998, "a", func(*ExecCtx) error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegisterBuiltin(9998, "b", func(*ExecCtx) error { return nil })
+}
+
+func TestBuiltinZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegisterBuiltin(0, "zero", func(*ExecCtx) error { return nil })
+}
+
+func TestF32RoundTrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		got := BytesToF32(F32ToBytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN compares unequal; compare bit patterns via re-encode.
+			a, b := F32ToBytes(vals[i:i+1]), F32ToBytes(got[i:i+1])
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesToF32Misaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BytesToF32(make([]byte, 7))
+}

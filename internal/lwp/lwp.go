@@ -1,0 +1,209 @@
+// Package lwp models the lightweight VLIW processors of the prototype
+// (paper §2.2): eight cores at 1 GHz, each with eight functional units
+// (2 multipliers, 4 general-purpose ALUs, 2 load/store units), private
+// 64 KB L1 and 512 KB L2 caches, a power/sleep controller (PSC), and the
+// boot-address/inter-processor-interrupt registers Flashvisor uses to
+// launch kernels (paper §4 "Execution").
+package lwp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Mix is an instruction mix: fractions of multiply and load/store
+// instructions; the remainder issues on the general-purpose ALUs.
+type Mix struct {
+	Mul  float64
+	LdSt float64
+}
+
+// Validate reports whether the mix fractions are sane.
+func (m Mix) Validate() error {
+	if m.Mul < 0 || m.LdSt < 0 || m.Mul+m.LdSt > 1 {
+		return fmt.Errorf("lwp: invalid instruction mix %+v", m)
+	}
+	return nil
+}
+
+// ALU returns the general-purpose fraction.
+func (m Mix) ALU() float64 { return 1 - m.Mul - m.LdSt }
+
+// CostModel converts instruction counts into cycles for one LWP. VLIW
+// scheduling is static, so the bound is structural: the packing of each
+// instruction class onto its functional units, plus a base CPI factor for
+// compiler slack and a cache-miss stall term.
+type CostModel struct {
+	MulUnits  int   // 2
+	ALUUnits  int   // 4
+	LdStUnits int   // 2
+	FreqHz    int64 // 1e9
+
+	// CPIBase scales the structural bound for pipeline and scheduling
+	// slack a real compiler leaves on the table (1.0 = perfect packing).
+	CPIBase float64
+	// MissRate is the fraction of load/store instructions that miss L2;
+	// MissPenalty is the DDR3L round trip in cycles.
+	MissRate    float64
+	MissPenalty int64
+}
+
+// DefaultCostModel returns the TMS320C6678-like model used throughout.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MulUnits:    2,
+		ALUUnits:    4,
+		LdStUnits:   2,
+		FreqHz:      1e9,
+		CPIBase:     1.35, // measured VLIW kernels rarely pack perfectly
+		MissRate:    0.01, // streaming kernels mostly hit the 512KB L2
+		MissPenalty: 40,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c CostModel) Validate() error {
+	if c.MulUnits <= 0 || c.ALUUnits <= 0 || c.LdStUnits <= 0 || c.FreqHz <= 0 {
+		return fmt.Errorf("lwp: invalid cost model %+v", c)
+	}
+	if c.CPIBase < 1 {
+		return fmt.Errorf("lwp: CPIBase %v < 1", c.CPIBase)
+	}
+	return nil
+}
+
+// IssueWidth returns the total functional units.
+func (c CostModel) IssueWidth() int { return c.MulUnits + c.ALUUnits + c.LdStUnits }
+
+// cyclesPerInstr returns the structural cycles-per-instruction bound for a
+// mix: the busiest functional-unit class limits the packet rate.
+func (c CostModel) cyclesPerInstr(m Mix) float64 {
+	b := 1.0 / float64(c.IssueWidth())
+	if v := m.Mul / float64(c.MulUnits); v > b {
+		b = v
+	}
+	if v := m.ALU() / float64(c.ALUUnits); v > b {
+		b = v
+	}
+	if v := m.LdSt / float64(c.LdStUnits); v > b {
+		b = v
+	}
+	return b*c.CPIBase + m.LdSt*c.MissRate*float64(c.MissPenalty)
+}
+
+// Cycles returns the cycles to execute instr instructions of the given mix.
+func (c CostModel) Cycles(instr int64, m Mix) int64 {
+	if instr <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(float64(instr) * c.cyclesPerInstr(m)))
+}
+
+// Duration returns the wall time for instr instructions of the given mix.
+func (c CostModel) Duration(instr int64, m Mix) units.Duration {
+	return units.Cycles(c.Cycles(instr, m), c.FreqHz)
+}
+
+// EffectiveIPC returns the sustained instructions per cycle for a mix.
+func (c CostModel) EffectiveIPC(m Mix) float64 { return 1 / c.cyclesPerInstr(m) }
+
+// FUsBusy returns the average number of functional units active while a
+// kernel with this mix runs; it feeds the Fig. 15a utilization series.
+func (c CostModel) FUsBusy(m Mix) float64 { return c.EffectiveIPC(m) }
+
+// State is an LWP power state.
+type State int
+
+// LWP power states driven through the PSC.
+const (
+	StateSleep State = iota
+	StateIdle        // awake, polling
+	StateBusy
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateIdle:
+		return "idle"
+	default:
+		return "busy"
+	}
+}
+
+// Core is one LWP's runtime state. Scheduling work on a core reserves its
+// occupancy resource; the device layer owns assignment decisions.
+type Core struct {
+	ID    int
+	Model CostModel
+	Res   *sim.Resource
+
+	state    State
+	BootAddr int64 // DDR3L address of the downloaded kernel (boot address register)
+	wakeups  int64
+
+	sleepAt  sim.Time // when the current sleep began
+	sleepDur units.Duration
+}
+
+// NewCore returns core id in sleep state.
+func NewCore(id int, model CostModel) *Core {
+	return &Core{ID: id, Model: model, Res: sim.NewResource(fmt.Sprintf("lwp%d", id))}
+}
+
+// State returns the current power state.
+func (c *Core) State() State { return c.state }
+
+// Wakeups returns how many times the PSC pulled the core out of sleep.
+func (c *Core) Wakeups() int64 { return c.wakeups }
+
+// SleepTime returns the accumulated time spent in sleep.
+func (c *Core) SleepTime() units.Duration { return c.sleepDur }
+
+// PSC is the power/sleep controller. Flashvisor uses it to put a target LWP
+// to sleep, set its boot-address register, raise the inter-processor
+// interrupt, and pull it back out of sleep (paper §4 "Execution").
+type PSC struct {
+	// WakeLatency is the revocation time from sleep to first fetch.
+	WakeLatency units.Duration
+	cores       []*Core
+}
+
+// NewPSC wraps the given cores.
+func NewPSC(cores []*Core, wake units.Duration) *PSC {
+	return &PSC{WakeLatency: wake, cores: cores}
+}
+
+// Sleep transitions a core to sleep at time at.
+func (p *PSC) Sleep(at sim.Time, id int) {
+	c := p.cores[id]
+	if c.state == StateSleep {
+		return
+	}
+	c.state = StateSleep
+	c.sleepAt = at
+}
+
+// Boot performs the full launch sequence on a sleeping or idle core: store
+// the kernel address into the boot-address register, write the IPI register,
+// and revoke sleep. It returns when the core begins fetching.
+func (p *PSC) Boot(at sim.Time, id int, bootAddr int64) sim.Time {
+	c := p.cores[id]
+	if c.state == StateSleep {
+		c.sleepDur += at - c.sleepAt
+	}
+	c.BootAddr = bootAddr
+	c.state = StateIdle
+	c.wakeups++
+	return at + p.WakeLatency
+}
+
+// MarkBusy and MarkIdle track the execution state for power accounting.
+func (p *PSC) MarkBusy(id int) { p.cores[id].state = StateBusy }
+
+// MarkIdle marks a core as awake but not executing.
+func (p *PSC) MarkIdle(id int) { p.cores[id].state = StateIdle }

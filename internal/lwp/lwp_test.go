@@ -1,0 +1,174 @@
+package lwp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestMixValidate(t *testing.T) {
+	if (Mix{Mul: 0.2, LdSt: 0.3}).Validate() != nil {
+		t.Error("valid mix rejected")
+	}
+	if (Mix{Mul: -0.1}).Validate() == nil {
+		t.Error("negative mul accepted")
+	}
+	if (Mix{Mul: 0.7, LdSt: 0.5}).Validate() == nil {
+		t.Error("mix over 1 accepted")
+	}
+}
+
+func TestMixALU(t *testing.T) {
+	m := Mix{Mul: 0.15, LdSt: 0.45}
+	if got := m.ALU(); math.Abs(got-0.40) > 1e-12 {
+		t.Errorf("ALU = %v, want 0.40", got)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if DefaultCostModel().Validate() != nil {
+		t.Error("default model rejected")
+	}
+	bad := DefaultCostModel()
+	bad.CPIBase = 0.5
+	if bad.Validate() == nil {
+		t.Error("CPI < 1 accepted")
+	}
+}
+
+func TestIssueWidthIsEight(t *testing.T) {
+	if got := DefaultCostModel().IssueWidth(); got != 8 {
+		t.Errorf("issue width = %d, want 8 (2 MUL + 4 ALU + 2 LD/ST)", got)
+	}
+}
+
+func TestCyclesStructuralBounds(t *testing.T) {
+	m := DefaultCostModel()
+	m.CPIBase = 1.0
+	m.MissRate = 0
+	// A pure-ALU stream is bound by 4 ALUs: 1e6 instr -> 250k cycles.
+	if got := m.Cycles(1e6, Mix{}); got != 250000 {
+		t.Errorf("pure ALU cycles = %d, want 250000", got)
+	}
+	// A load/store-heavy stream is bound by the 2 LD/ST units.
+	ld := Mix{LdSt: 0.5}
+	if got := m.Cycles(1e6, ld); got != 250000 {
+		t.Errorf("50%% ldst cycles = %d, want 250000 (0.5/2 bound)", got)
+	}
+	heavy := Mix{LdSt: 0.8}
+	if got := m.Cycles(1e6, heavy); got != 400000 {
+		t.Errorf("80%% ldst cycles = %d, want 400000", got)
+	}
+}
+
+func TestCacheMissTermAddsStalls(t *testing.T) {
+	base := DefaultCostModel()
+	noMiss := base
+	noMiss.MissRate = 0
+	m := Mix{LdSt: 0.46} // ATAX-like
+	if base.Cycles(1e6, m) <= noMiss.Cycles(1e6, m) {
+		t.Error("miss term did not add stall cycles")
+	}
+}
+
+func TestEffectiveIPCWithinIssueWidth(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(mulRaw, ldRaw uint8) bool {
+		mul := float64(mulRaw%100) / 300
+		ld := float64(ldRaw%100) / 300
+		m := Mix{Mul: mul, LdSt: ld}
+		ipc := c.EffectiveIPC(m)
+		return ipc > 0 && ipc <= float64(c.IssueWidth())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesMonotonicInInstructions(t *testing.T) {
+	c := DefaultCostModel()
+	m := Mix{Mul: 0.1, LdSt: 0.3}
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.Cycles(x, m) <= c.Cycles(y, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationAtOneGHz(t *testing.T) {
+	c := DefaultCostModel()
+	c.CPIBase = 1
+	c.MissRate = 0
+	d := c.Duration(8e9, Mix{}) // 8G ALU instr / 4 units = 2G cycles = 2s
+	if d != 2*units.Second {
+		t.Errorf("duration = %s, want 2s", units.FormatDuration(d))
+	}
+}
+
+func TestZeroInstructions(t *testing.T) {
+	c := DefaultCostModel()
+	if c.Cycles(0, Mix{}) != 0 || c.Cycles(-5, Mix{}) != 0 {
+		t.Error("non-positive instruction counts should cost zero")
+	}
+}
+
+func TestFUsBusyMatchesIPC(t *testing.T) {
+	c := DefaultCostModel()
+	m := Mix{Mul: 0.15, LdSt: 0.40}
+	if c.FUsBusy(m) != c.EffectiveIPC(m) {
+		t.Error("FUsBusy should equal effective IPC")
+	}
+}
+
+func TestPSCBootSequence(t *testing.T) {
+	cores := []*Core{NewCore(0, DefaultCostModel()), NewCore(1, DefaultCostModel())}
+	psc := NewPSC(cores, 5*units.Microsecond)
+
+	if cores[0].State() != StateSleep {
+		t.Fatal("cores should start asleep")
+	}
+	ready := psc.Boot(100, 0, 0x8000)
+	if ready != 100+5*units.Microsecond {
+		t.Errorf("boot ready at %d", ready)
+	}
+	if cores[0].BootAddr != 0x8000 {
+		t.Errorf("boot address register = %#x", cores[0].BootAddr)
+	}
+	if cores[0].State() != StateIdle {
+		t.Errorf("state after boot = %v", cores[0].State())
+	}
+	if cores[0].Wakeups() != 1 {
+		t.Errorf("wakeups = %d", cores[0].Wakeups())
+	}
+	if cores[0].SleepTime() != 100 {
+		t.Errorf("sleep time = %d, want 100", cores[0].SleepTime())
+	}
+
+	psc.MarkBusy(0)
+	if cores[0].State() != StateBusy {
+		t.Error("MarkBusy did not transition")
+	}
+	psc.MarkIdle(0)
+	psc.Sleep(500, 0)
+	psc.Sleep(600, 0) // double sleep is a no-op
+	if cores[0].State() != StateSleep {
+		t.Error("Sleep did not transition")
+	}
+	psc.Boot(800, 0, 0x9000)
+	if cores[0].SleepTime() != 100+300 {
+		t.Errorf("accumulated sleep = %d, want 400", cores[0].SleepTime())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateSleep.String() != "sleep" || StateIdle.String() != "idle" || StateBusy.String() != "busy" {
+		t.Error("state strings wrong")
+	}
+}

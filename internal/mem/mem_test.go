@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestConfigsMatchTable1(t *testing.T) {
+	d := DDR3LConfig()
+	if d.Size != units.GB || d.Banks != 8 {
+		t.Errorf("DDR3L config %+v does not match Table 1", d)
+	}
+	s := ScratchpadConfig()
+	if s.Size != 4*units.MB || s.Banks != 8 {
+		t.Errorf("scratchpad config %+v does not match Table 1", s)
+	}
+	if s.BW != 16*units.GBps {
+		t.Errorf("scratchpad BW = %d, want 16GB/s", s.BW)
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{Name: "x", Size: 0, BW: 1}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(Config{Name: "x", Size: 1, BW: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestAccessTiming(t *testing.T) {
+	m, err := New(Config{Name: "m", Size: units.GB, BW: units.GBps, Latency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := m.Access(0, units.GB)
+	if end != units.Second+100 {
+		t.Errorf("access end = %d, want 1s+100ns", end)
+	}
+	if m.Bytes() != units.GB {
+		t.Errorf("bytes = %d", m.Bytes())
+	}
+}
+
+func TestAllocFreeLifecycle(t *testing.T) {
+	m, _ := New(Config{Name: "m", Size: 100, BW: units.GBps})
+	a, err := m.Alloc("a", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Off != 0 || a.Size != 60 {
+		t.Errorf("region a = %+v", a)
+	}
+	if _, err := m.Alloc("b", 50); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	b, err := m.Alloc("b", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Off != 60 {
+		t.Errorf("region b offset = %d, want 60", b.Off)
+	}
+	if m.Used() != 100 {
+		t.Errorf("used = %d, want 100", m.Used())
+	}
+	m.Free("b")
+	if m.Used() != 60 {
+		t.Errorf("used after freeing top = %d, want 60", m.Used())
+	}
+	m.Free("a")
+	if m.Used() != 0 {
+		t.Errorf("used after freeing all = %d, want 0", m.Used())
+	}
+}
+
+func TestAllocDuplicateName(t *testing.T) {
+	m, _ := New(Config{Name: "m", Size: 100, BW: units.GBps})
+	if _, err := m.Alloc("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("a", 10); err == nil {
+		t.Error("duplicate region name accepted")
+	}
+}
+
+func TestAllocNonPositive(t *testing.T) {
+	m, _ := New(Config{Name: "m", Size: 100, BW: units.GBps})
+	if _, err := m.Alloc("z", 0); err == nil {
+		t.Error("zero-size allocation accepted")
+	}
+}
+
+func TestInteriorFreeKeepsTop(t *testing.T) {
+	m, _ := New(Config{Name: "m", Size: 100, BW: units.GBps})
+	m.Alloc("a", 30)
+	m.Alloc("b", 30)
+	m.Free("a") // interior: cannot reclaim
+	if m.Used() != 60 {
+		t.Errorf("used = %d, want 60 (interior free keeps top)", m.Used())
+	}
+	m.Free("missing") // no-op
+}
+
+func TestAccessesSerialize(t *testing.T) {
+	m, _ := New(DDR3LConfig())
+	e1 := m.Access(0, 64*units.KB)
+	e2 := m.Access(0, 64*units.KB)
+	if e2 <= e1 {
+		t.Errorf("accesses did not serialize: %d then %d", e1, e2)
+	}
+	if m.Busy() == 0 {
+		t.Error("busy not accumulated")
+	}
+}

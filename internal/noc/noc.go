@@ -1,0 +1,94 @@
+// Package noc models the KeyStone-style on-chip network of the prototype
+// (paper §2.2): a high-performance tier-1 streaming crossbar joining LWPs
+// and memory, a tier-2 crossbar feeding the AMC/PCIe complex, and the
+// hardware message queues the LWPs use to talk to Flashvisor.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config holds the crossbar rates and message-queue costs.
+type Config struct {
+	Tier1BW units.Bandwidth // streaming crossbar (16 GB/s)
+	Tier2BW units.Bandwidth // simplified crossbar toward AMC/PCIe (5.2 GB/s)
+	// MsgLatency is the hardware-queue delivery latency for one message.
+	MsgLatency units.Duration
+	// MsgService is the receiver-side dequeue occupancy per message; it
+	// serializes on the receiving queue and is the IPC cost that §5.1
+	// blames for IntraO3 trailing InterDy on homogeneous workloads.
+	MsgService units.Duration
+}
+
+// DefaultConfig returns the prototype network parameters.
+func DefaultConfig() Config {
+	return Config{
+		Tier1BW:    16 * units.GBps,
+		Tier2BW:    5200 * units.MBps,
+		MsgLatency: 200, // ~200 ns queue-push to queue-pop
+		MsgService: 300, // ~300 ns receiver dequeue/dispatch
+	}
+}
+
+// Network is the assembled two-tier crossbar fabric.
+type Network struct {
+	Cfg   Config
+	Tier1 *sim.Pipe
+	Tier2 *sim.Pipe
+}
+
+// New builds the fabric.
+func New(cfg Config) (*Network, error) {
+	if cfg.Tier1BW <= 0 || cfg.Tier2BW <= 0 {
+		return nil, fmt.Errorf("noc: non-positive crossbar bandwidth %+v", cfg)
+	}
+	return &Network{
+		Cfg:   cfg,
+		Tier1: sim.NewPipe("tier1-xbar", cfg.Tier1BW),
+		Tier2: sim.NewPipe("tier2-xbar", cfg.Tier2BW),
+	}, nil
+}
+
+// TransferTier1 books n bytes on the streaming crossbar.
+func (n *Network) TransferTier1(at sim.Time, bytes int64) sim.Time {
+	_, end := n.Tier1.Transfer(at, bytes)
+	return end
+}
+
+// TransferTier2 books n bytes on the AMC-side crossbar.
+func (n *Network) TransferTier2(at sim.Time, bytes int64) sim.Time {
+	_, end := n.Tier2.Transfer(at, bytes)
+	return end
+}
+
+// MsgQueue is one hardware message queue endpoint (for example Flashvisor's
+// inbound queue). Messages arrive after the fabric latency and are drained
+// serially at the receiver.
+type MsgQueue struct {
+	Name string
+	cfg  Config
+	recv *sim.Resource
+	sent int64
+}
+
+// NewQueue builds a message queue using the network's costs.
+func (n *Network) NewQueue(name string) *MsgQueue {
+	return &MsgQueue{Name: name, cfg: n.Cfg, recv: sim.NewResource(name)}
+}
+
+// Send books one message pushed at time at and returns when the receiver has
+// dequeued it and can act on it.
+func (q *MsgQueue) Send(at sim.Time) sim.Time {
+	_, end := q.recv.Reserve(at+q.cfg.MsgLatency, q.cfg.MsgService)
+	q.sent++
+	return end
+}
+
+// Sent returns the number of messages pushed through the queue.
+func (q *MsgQueue) Sent() int64 { return q.sent }
+
+// Busy returns the receiver-side occupancy.
+func (q *MsgQueue) Busy() units.Duration { return q.recv.Busy() }

@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestDefaultsMatchTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.Tier1BW != 16*units.GBps {
+		t.Errorf("tier1 = %d, want 16GB/s", c.Tier1BW)
+	}
+	if c.Tier2BW != 5200*units.MBps {
+		t.Errorf("tier2 = %d, want 5.2GB/s", c.Tier2BW)
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{Tier1BW: 0, Tier2BW: 1}); err == nil {
+		t.Error("zero tier1 accepted")
+	}
+}
+
+func TestTransfers(t *testing.T) {
+	n, err := New(Config{Tier1BW: units.GBps, Tier2BW: units.GBps / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := n.TransferTier1(0, units.GB); end != units.Second {
+		t.Errorf("tier1 1GB = %d, want 1s", end)
+	}
+	if end := n.TransferTier2(0, units.GB); end != 2*units.Second {
+		t.Errorf("tier2 1GB = %d, want 2s", end)
+	}
+}
+
+func TestMsgQueueLatencyAndSerialization(t *testing.T) {
+	n, _ := New(DefaultConfig())
+	q := n.NewQueue("flashvisor-in")
+	d1 := q.Send(0)
+	want := n.Cfg.MsgLatency + n.Cfg.MsgService
+	if d1 != want {
+		t.Errorf("first message delivered at %d, want %d", d1, want)
+	}
+	// A burst serializes on the receiver.
+	d2 := q.Send(0)
+	if d2 != d1+n.Cfg.MsgService {
+		t.Errorf("second message at %d, want %d", d2, d1+n.Cfg.MsgService)
+	}
+	if q.Sent() != 2 {
+		t.Errorf("sent = %d", q.Sent())
+	}
+	if q.Busy() != 2*n.Cfg.MsgService {
+		t.Errorf("busy = %d", q.Busy())
+	}
+}
+
+func TestIndependentQueuesDoNotInterfere(t *testing.T) {
+	n, _ := New(DefaultConfig())
+	a := n.NewQueue("a")
+	b := n.NewQueue("b")
+	a.Send(0)
+	if got := b.Send(0); got != n.Cfg.MsgLatency+n.Cfg.MsgService {
+		t.Errorf("queue b delayed by queue a: %d", got)
+	}
+}

@@ -1,0 +1,88 @@
+// Package pcie models the accelerator's host link: PCIe v2.0 with two lanes
+// (1 GB/s, Table 1), the base-address-register (BAR) window that maps host
+// writes into DDR3L, and the doorbell interrupt the host raises after a
+// kernel download (paper §4 "Offload"/"Execution").
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config holds link parameters.
+type Config struct {
+	BW units.Bandwidth // effective link bandwidth
+	// Latency is the per-transaction link latency (posting + DMA setup).
+	Latency units.Duration
+	// IntLatency is interrupt delivery time from doorbell to Flashvisor.
+	IntLatency units.Duration
+	// BARSize is the DDR3L window exposed through the BAR.
+	BARSize int64
+}
+
+// DefaultConfig returns the prototype link: 1 GB/s, ~2 µs DMA setup.
+func DefaultConfig() Config {
+	return Config{
+		BW:         1 * units.GBps,
+		Latency:    2 * units.Microsecond,
+		IntLatency: 1 * units.Microsecond,
+		BARSize:    64 * units.MB,
+	}
+}
+
+// Link is the PCIe endpoint on the accelerator.
+type Link struct {
+	Cfg  Config
+	pipe *sim.Pipe
+
+	doorbells int64
+}
+
+// New builds a link.
+func New(cfg Config) (*Link, error) {
+	if cfg.BW <= 0 {
+		return nil, fmt.Errorf("pcie: non-positive bandwidth")
+	}
+	if cfg.BARSize <= 0 {
+		return nil, fmt.Errorf("pcie: non-positive BAR size")
+	}
+	p := sim.NewPipe("pcie", cfg.BW)
+	p.Latency = cfg.Latency
+	return &Link{Cfg: cfg, pipe: p}, nil
+}
+
+// WriteBAR books a host write of n bytes through the BAR window (a kernel
+// description table download or input staging) and returns when the data
+// has landed in DDR3L.
+func (l *Link) WriteBAR(at sim.Time, n int64) (sim.Time, error) {
+	if n > l.Cfg.BARSize {
+		return 0, fmt.Errorf("pcie: write of %s exceeds BAR window %s",
+			units.FormatBytes(n), units.FormatBytes(l.Cfg.BARSize))
+	}
+	_, end := l.pipe.Transfer(at, n)
+	return end, nil
+}
+
+// Transfer books a bulk DMA of n bytes in either direction.
+func (l *Link) Transfer(at sim.Time, n int64) sim.Time {
+	_, end := l.pipe.Transfer(at, n)
+	return end
+}
+
+// Doorbell raises the host interrupt at time at and returns when the PCIe
+// controller has forwarded it to Flashvisor.
+func (l *Link) Doorbell(at sim.Time) sim.Time {
+	l.doorbells++
+	return at + l.Cfg.IntLatency
+}
+
+// Doorbells returns how many interrupts were raised.
+func (l *Link) Doorbells() int64 { return l.doorbells }
+
+// Busy returns the total link occupancy.
+func (l *Link) Busy() units.Duration { return l.pipe.Busy() }
+
+// Bytes returns the total bytes moved.
+func (l *Link) Bytes() int64 { return l.pipe.Bytes() }

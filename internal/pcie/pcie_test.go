@@ -1,0 +1,68 @@
+package pcie
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestDefaultsMatchTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.BW != units.GBps {
+		t.Errorf("BW = %d, want 1GB/s (PCIe v2.0 x2)", c.BW)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{BW: 0, BARSize: 1}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := New(Config{BW: 1, BARSize: 0}); err == nil {
+		t.Error("zero BAR accepted")
+	}
+}
+
+func TestWriteBARTiming(t *testing.T) {
+	l, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := l.WriteBAR(0, units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Cfg.Latency + l.Cfg.BW.DurationFor(units.MB)
+	if end != want {
+		t.Errorf("BAR write end = %d, want %d", end, want)
+	}
+}
+
+func TestWriteBAROverflow(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	if _, err := l.WriteBAR(0, l.Cfg.BARSize+1); err == nil {
+		t.Error("oversized BAR write accepted")
+	}
+}
+
+func TestTransfersSerialize(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	e1 := l.Transfer(0, 100*units.MB)
+	e2 := l.Transfer(0, 100*units.MB)
+	if e2 <= e1 {
+		t.Error("link transfers did not serialize")
+	}
+	if l.Bytes() != 200*units.MB {
+		t.Errorf("bytes = %d", l.Bytes())
+	}
+}
+
+func TestDoorbell(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	at := l.Doorbell(100)
+	if at != 100+l.Cfg.IntLatency {
+		t.Errorf("interrupt delivered at %d", at)
+	}
+	if l.Doorbells() != 1 {
+		t.Errorf("doorbells = %d", l.Doorbells())
+	}
+}

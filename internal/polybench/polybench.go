@@ -1,0 +1,509 @@
+// Package polybench implements the fourteen PolyBench-derived kernels of
+// Table 2 as real Go compute functions registered as FlashAbacus builtins,
+// plus builders that package them into functional kernel description
+// tables. The timing sweeps use workload descriptors; these functional
+// kernels exist so the full pipeline — KDT offload, scheduling, Flashvisor
+// mapping, garbage collection — can be verified against real numerics.
+package polybench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kdt"
+	"repro/internal/kernel"
+)
+
+// Builtin ids (100 + Table 2 row index).
+const (
+	BuiltinATAX uint16 = 100 + iota
+	BuiltinBICG
+	Builtin2DCON
+	BuiltinMVT
+	BuiltinADI
+	BuiltinFDTD
+	BuiltinGESUM
+	BuiltinSYRK
+	Builtin3MM
+	BuiltinCOVAR
+	BuiltinGEMM
+	Builtin2MM
+	BuiltinSYR2K
+	BuiltinCORR
+	// BuiltinGEMMPart is the row-partitioned GEMM used to demonstrate
+	// multi-screen functional execution.
+	BuiltinGEMMPart
+)
+
+const (
+	alpha = float32(1.5)
+	beta  = float32(1.2)
+)
+
+type impl struct {
+	id  uint16
+	in  func(n int) int // input floats
+	out func(n int) int // output floats
+	fn  func(n int, in, out []float32)
+}
+
+var impls = map[string]impl{
+	"ATAX":  {BuiltinATAX, func(n int) int { return n*n + n }, func(n int) int { return n }, atax},
+	"BICG":  {BuiltinBICG, func(n int) int { return n*n + 2*n }, func(n int) int { return 2 * n }, bicg},
+	"2DCON": {Builtin2DCON, func(n int) int { return n * n }, func(n int) int { return n * n }, conv2d},
+	"MVT":   {BuiltinMVT, func(n int) int { return n*n + 4*n }, func(n int) int { return 2 * n }, mvt},
+	"ADI":   {BuiltinADI, func(n int) int { return 3 * n * n }, func(n int) int { return 2 * n * n }, adi},
+	"FDTD":  {BuiltinFDTD, func(n int) int { return 3*n*n + 4 }, func(n int) int { return n * n }, fdtd2d},
+	"GESUM": {BuiltinGESUM, func(n int) int { return 2*n*n + n }, func(n int) int { return n }, gesummv},
+	"SYRK":  {BuiltinSYRK, func(n int) int { return 2 * n * n }, func(n int) int { return n * n }, syrk},
+	"3MM":   {Builtin3MM, func(n int) int { return 4 * n * n }, func(n int) int { return n * n }, mm3},
+	"COVAR": {BuiltinCOVAR, func(n int) int { return n * n }, func(n int) int { return n * n }, covar},
+	"GEMM":  {BuiltinGEMM, func(n int) int { return 3 * n * n }, func(n int) int { return n * n }, gemm},
+	"2MM":   {Builtin2MM, func(n int) int { return 4 * n * n }, func(n int) int { return n * n }, mm2},
+	"SYR2K": {BuiltinSYR2K, func(n int) int { return 3 * n * n }, func(n int) int { return n * n }, syr2k},
+	"CORR":  {BuiltinCORR, func(n int) int { return n * n }, func(n int) int { return n * n }, corr},
+}
+
+func init() {
+	for name, im := range impls {
+		im := im
+		kernel.RegisterBuiltin(im.id, name, func(ctx *kernel.ExecCtx) error {
+			return runWhole(im, ctx)
+		})
+	}
+	kernel.RegisterBuiltin(BuiltinGEMMPart, "GEMM-part", gemmPartitioned)
+}
+
+// runWhole decodes section 0, applies the kernel, and stores the result in
+// section 1.
+func runWhole(im impl, ctx *kernel.ExecCtx) error {
+	n := int(ctx.Arg)
+	if n <= 0 {
+		return fmt.Errorf("polybench: non-positive problem size %d", n)
+	}
+	raw, ok := ctx.Sections[0]
+	if !ok {
+		return fmt.Errorf("polybench: input section missing")
+	}
+	in := kernel.BytesToF32(raw)
+	if len(in) < im.in(n) {
+		return fmt.Errorf("polybench: input has %d floats, need %d", len(in), im.in(n))
+	}
+	out := make([]float32, im.out(n))
+	im.fn(n, in, out)
+	ctx.Sections[1] = kernel.F32ToBytes(out)
+	return nil
+}
+
+// --- the fourteen kernels ------------------------------------------------
+
+// atax computes y = Aᵀ(A·x). Input: A (n×n) then x (n).
+func atax(n int, in, out []float32) {
+	a, x := in[:n*n], in[n*n:n*n+n]
+	tmp := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s float32
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		tmp[i] = s
+	}
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += a[i*n+j] * tmp[i]
+		}
+		out[j] = s
+	}
+}
+
+// bicg computes s = Aᵀ·r and q = A·p. Input: A, p (n), r (n); output s‖q.
+func bicg(n int, in, out []float32) {
+	a, p, r := in[:n*n], in[n*n:n*n+n], in[n*n+n:n*n+2*n]
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += a[i*n+j] * r[i]
+		}
+		out[j] = s
+	}
+	for i := 0; i < n; i++ {
+		var q float32
+		for j := 0; j < n; j++ {
+			q += a[i*n+j] * p[j]
+		}
+		out[n+i] = q
+	}
+}
+
+// conv2d applies PolyBench's 3×3 stencil; borders stay zero.
+func conv2d(n int, in, out []float32) {
+	const (
+		c11, c12, c13 = 0.2, 0.5, -0.8
+		c21, c22, c23 = -0.3, 0.6, -0.9
+		c31, c32, c33 = 0.4, 0.7, 0.1
+	)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			out[i*n+j] = c11*in[(i-1)*n+j-1] + c12*in[(i-1)*n+j] + c13*in[(i-1)*n+j+1] +
+				c21*in[i*n+j-1] + c22*in[i*n+j] + c23*in[i*n+j+1] +
+				c31*in[(i+1)*n+j-1] + c32*in[(i+1)*n+j] + c33*in[(i+1)*n+j+1]
+		}
+	}
+}
+
+// mvt computes x1 += A·y1 and x2 += Aᵀ·y2. Input: A, x1, x2, y1, y2.
+func mvt(n int, in, out []float32) {
+	a := in[:n*n]
+	x1 := in[n*n : n*n+n]
+	x2 := in[n*n+n : n*n+2*n]
+	y1 := in[n*n+2*n : n*n+3*n]
+	y2 := in[n*n+3*n : n*n+4*n]
+	for i := 0; i < n; i++ {
+		s := x1[i]
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * y1[j]
+		}
+		out[i] = s
+	}
+	for i := 0; i < n; i++ {
+		s := x2[i]
+		for j := 0; j < n; j++ {
+			s += a[j*n+i] * y2[j]
+		}
+		out[n+i] = s
+	}
+}
+
+// adi performs one alternating-direction-implicit sweep over X using
+// coefficient arrays A and B (PolyBench's forward substitutions), emitting
+// the updated X and B planes.
+func adi(n int, in, out []float32) {
+	x := append([]float32(nil), in[:n*n]...)
+	a := in[n*n : 2*n*n]
+	b := append([]float32(nil), in[2*n*n:3*n*n]...)
+	for i := 0; i < n; i++ {
+		for j := 1; j < n; j++ {
+			x[i*n+j] -= x[i*n+j-1] * a[i*n+j] / b[i*n+j-1]
+			b[i*n+j] -= a[i*n+j] * a[i*n+j] / b[i*n+j-1]
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 1; i < n; i++ {
+			x[i*n+j] -= x[(i-1)*n+j] * a[i*n+j] / b[(i-1)*n+j]
+			b[i*n+j] -= a[i*n+j] * a[i*n+j] / b[(i-1)*n+j]
+		}
+	}
+	copy(out[:n*n], x)
+	copy(out[n*n:], b)
+}
+
+// fdtd2d advances Yee's method two time steps over ex, ey, hz with the
+// fict source vector (paper Fig. 6's kernel).
+func fdtd2d(n int, in, out []float32) {
+	ex := append([]float32(nil), in[:n*n]...)
+	ey := append([]float32(nil), in[n*n:2*n*n]...)
+	hz := append([]float32(nil), in[2*n*n:3*n*n]...)
+	fict := in[3*n*n : 3*n*n+4]
+	for t := 0; t < 2; t++ {
+		for j := 0; j < n; j++ { // m0: fict into the first ey row
+			ey[j] = fict[t]
+		}
+		for i := 1; i < n; i++ { // m1: field differentials
+			for j := 0; j < n; j++ {
+				ey[i*n+j] -= 0.5 * (hz[i*n+j] - hz[(i-1)*n+j])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 1; j < n; j++ {
+				ex[i*n+j] -= 0.5 * (hz[i*n+j] - hz[i*n+j-1])
+			}
+		}
+		for i := 0; i < n-1; i++ { // m2: output field
+			for j := 0; j < n-1; j++ {
+				hz[i*n+j] -= 0.7 * (ex[i*n+j+1] - ex[i*n+j] + ey[(i+1)*n+j] - ey[i*n+j])
+			}
+		}
+	}
+	copy(out, hz)
+}
+
+// gesummv computes y = α·A·x + β·B·x.
+func gesummv(n int, in, out []float32) {
+	a, b, x := in[:n*n], in[n*n:2*n*n], in[2*n*n:2*n*n+n]
+	for i := 0; i < n; i++ {
+		var sa, sb float32
+		for j := 0; j < n; j++ {
+			sa += a[i*n+j] * x[j]
+			sb += b[i*n+j] * x[j]
+		}
+		out[i] = alpha*sa + beta*sb
+	}
+}
+
+// syrk computes C = α·A·Aᵀ + β·C.
+func syrk(n int, in, out []float32) {
+	a, c := in[:n*n], in[n*n:2*n*n]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * a[j*n+k]
+			}
+			out[i*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+}
+
+func matmul(n int, a, b, dst []float32) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// mm3 computes G = (A·B)·(C·D).
+func mm3(n int, in, out []float32) {
+	a, b, c, d := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n], in[3*n*n:4*n*n]
+	e := make([]float32, n*n)
+	f := make([]float32, n*n)
+	matmul(n, a, b, e)
+	matmul(n, c, d, f)
+	matmul(n, e, f, out)
+}
+
+// covar computes the covariance matrix of an n×n data block (columns are
+// variables).
+func covar(n int, in, out []float32) {
+	mean := make([]float32, n)
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += in[i*n+j]
+		}
+		mean[j] = s / float32(n)
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			var s float32
+			for i := 0; i < n; i++ {
+				s += (in[i*n+j] - mean[j]) * (in[i*n+k] - mean[k])
+			}
+			out[j*n+k] = s / float32(n-1)
+		}
+	}
+}
+
+// gemm computes C = α·A·B + β·C.
+func gemm(n int, in, out []float32) {
+	a, b, c := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			out[i*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+}
+
+// mm2 computes D = α·(A·B)·C + β·D.
+func mm2(n int, in, out []float32) {
+	a, b, c, d := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n], in[3*n*n:4*n*n]
+	tmp := make([]float32, n*n)
+	matmul(n, a, b, tmp)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += tmp[i*n+k] * c[k*n+j]
+			}
+			out[i*n+j] = alpha*s + beta*d[i*n+j]
+		}
+	}
+}
+
+// syr2k computes C = α·A·Bᵀ + α·B·Aᵀ + β·C.
+func syr2k(n int, in, out []float32) {
+	a, b, c := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k]*b[j*n+k] + b[i*n+k]*a[j*n+k]
+			}
+			out[i*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+}
+
+// corr computes the correlation matrix of an n×n data block.
+func corr(n int, in, out []float32) {
+	mean := make([]float32, n)
+	std := make([]float32, n)
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += in[i*n+j]
+		}
+		mean[j] = s / float32(n)
+	}
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			d := in[i*n+j] - mean[j]
+			s += d * d
+		}
+		std[j] = float32(math.Sqrt(float64(s / float32(n))))
+		if std[j] < 1e-6 {
+			std[j] = 1
+		}
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			var s float32
+			for i := 0; i < n; i++ {
+				s += (in[i*n+j] - mean[j]) * (in[i*n+k] - mean[k])
+			}
+			out[j*n+k] = s / (float32(n) * std[j] * std[k])
+		}
+	}
+}
+
+// gemmPartitioned computes rows [screen's share] of C = α·A·B + β·C,
+// writing its slice into section 16+screen — the multi-screen functional
+// demonstration.
+func gemmPartitioned(ctx *kernel.ExecCtx) error {
+	n := int(ctx.Arg)
+	if n <= 0 || ctx.Screens <= 0 {
+		return fmt.Errorf("polybench: bad partitioned gemm arg %d/%d", n, ctx.Screens)
+	}
+	in := kernel.BytesToF32(ctx.Sections[0])
+	if len(in) < 3*n*n {
+		return fmt.Errorf("polybench: partitioned gemm input too small")
+	}
+	a, b, c := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n]
+	lo := ctx.Screen * n / ctx.Screens
+	hi := (ctx.Screen + 1) * n / ctx.Screens
+	out := make([]float32, (hi-lo)*n)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			out[(i-lo)*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+	ctx.Sections[uint8(16+ctx.Screen)] = kernel.F32ToBytes(out)
+	return nil
+}
+
+// Names lists the functional kernels.
+func Names() []string {
+	out := make([]string, 0, len(impls))
+	for _, n := range []string{"ATAX", "BICG", "2DCON", "MVT", "ADI", "FDTD", "GESUM",
+		"SYRK", "3MM", "COVAR", "GEMM", "2MM", "SYR2K", "CORR"} {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Input generates the deterministic input block for a kernel at size n.
+func Input(name string, n int) ([]float32, error) {
+	im, ok := impls[name]
+	if !ok {
+		return nil, fmt.Errorf("polybench: unknown kernel %q", name)
+	}
+	return genFloats(name, im.in(n)), nil
+}
+
+// Reference runs the kernel directly (no device) and returns its output;
+// integration tests compare flash contents against it.
+func Reference(name string, n int, in []float32) ([]float32, error) {
+	im, ok := impls[name]
+	if !ok {
+		return nil, fmt.Errorf("polybench: unknown kernel %q", name)
+	}
+	out := make([]float32, im.out(n))
+	im.fn(n, in, out)
+	return out, nil
+}
+
+// genFloats produces reproducible values in [0,1) from a name-seeded LCG.
+func genFloats(seed string, n int) []float32 {
+	var s uint64 = 0x9E3779B97F4A7C15
+	for _, c := range seed {
+		s = s*131 + uint64(c)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = float32(s>>40) / float32(1<<24)
+	}
+	return out
+}
+
+// App builds a functional single-screen kernel description table for name
+// at problem size n, reading input from inAddr and writing output to
+// outAddr. It returns the table, the input payload to populate, and the
+// output byte count.
+func App(name string, n int, inAddr, outAddr int64) (*kdt.Table, []byte, int64, error) {
+	im, ok := impls[name]
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("polybench: unknown kernel %q", name)
+	}
+	in, err := Input(name, n)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	inBytes := int64(4 * len(in))
+	outBytes := int64(4 * im.out(n))
+	instr := int64(im.in(n)) * int64(n) / 2 // O(n³)-ish cost proxy
+	if instr < 1000 {
+		instr = 1000
+	}
+	tab := &kdt.Table{
+		Name:     name,
+		Sections: kdt.DefaultSections(0, inBytes),
+		Microblocks: []kdt.Microblock{{Screens: []kdt.Screen{{Ops: []kdt.Op{
+			{Kind: kdt.OpRead, Section: 0, FlashAddr: inAddr, Bytes: inBytes},
+			{Kind: kdt.OpCompute, Instr: instr, MulMilli: 200, LdStMilli: 400},
+			{Kind: kdt.OpExec, Section: 0, Builtin: im.id, Arg: uint32(n)},
+			{Kind: kdt.OpWrite, Section: 1, FlashAddr: outAddr, Bytes: outBytes},
+		}}}}},
+	}
+	tab.Sections[0].Size = tab.TextSize()
+	return tab, kernel.F32ToBytes(in), outBytes, nil
+}
+
+// PartitionedGEMM builds the multi-screen functional GEMM: `screens`
+// screens each compute a row band and write it to its own flash range.
+func PartitionedGEMM(n, screens int, inAddr, outAddr int64) (*kdt.Table, []byte, int64, error) {
+	if screens < 1 || n < screens {
+		return nil, nil, 0, fmt.Errorf("polybench: bad partition %d screens for n=%d", screens, n)
+	}
+	in := genFloats("GEMM", 3*n*n)
+	inBytes := int64(4 * len(in))
+	mb := kdt.Microblock{}
+	for s := 0; s < screens; s++ {
+		lo := s * n / screens
+		hi := (s + 1) * n / screens
+		rows := int64(hi - lo)
+		mb.Screens = append(mb.Screens, kdt.Screen{Ops: []kdt.Op{
+			{Kind: kdt.OpRead, Section: 0, FlashAddr: inAddr, Bytes: inBytes},
+			{Kind: kdt.OpCompute, Instr: int64(n) * int64(n) * rows, MulMilli: 250, LdStMilli: 375},
+			{Kind: kdt.OpExec, Section: 0, Builtin: BuiltinGEMMPart, Arg: uint32(n)},
+			{Kind: kdt.OpWrite, Section: uint8(16 + s), FlashAddr: outAddr + int64(lo)*int64(n)*4, Bytes: rows * int64(n) * 4},
+		}})
+	}
+	tab := &kdt.Table{Name: "GEMM-part", Sections: kdt.DefaultSections(0, inBytes), Microblocks: []kdt.Microblock{mb}}
+	tab.Sections[0].Size = tab.TextSize()
+	return tab, kernel.F32ToBytes(in), int64(n) * int64(n) * 4, nil
+}

@@ -1,0 +1,376 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kdt"
+	"repro/internal/kernel"
+	"repro/internal/units"
+)
+
+const n = 16
+
+func approx(a, b, tol float32) bool {
+	return float32(math.Abs(float64(a-b))) <= tol*(1+float32(math.Abs(float64(b))))
+}
+
+func run(t *testing.T, name string) ([]float32, []float32) {
+	t.Helper()
+	in, err := Input(name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Reference(name, n, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, out
+}
+
+func TestATAXAgainstNaive(t *testing.T) {
+	in, out := run(t, "ATAX")
+	a, x := in[:n*n], in[n*n:]
+	for j := 0; j < n; j++ {
+		var want float32
+		for i := 0; i < n; i++ {
+			var ax float32
+			for k := 0; k < n; k++ {
+				ax += a[i*n+k] * x[k]
+			}
+			want += a[i*n+j] * ax
+		}
+		if !approx(out[j], want, 1e-4) {
+			t.Fatalf("y[%d] = %v, want %v", j, out[j], want)
+		}
+	}
+}
+
+func TestBICGAgainstNaive(t *testing.T) {
+	in, out := run(t, "BICG")
+	a, p, r := in[:n*n], in[n*n:n*n+n], in[n*n+n:]
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += a[i*n+j] * r[i]
+		}
+		if !approx(out[j], s, 1e-4) {
+			t.Fatalf("s[%d] = %v, want %v", j, out[j], s)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var q float32
+		for j := 0; j < n; j++ {
+			q += a[i*n+j] * p[j]
+		}
+		if !approx(out[n+i], q, 1e-4) {
+			t.Fatalf("q[%d] = %v, want %v", i, out[n+i], q)
+		}
+	}
+}
+
+func TestGEMMAgainstNaive(t *testing.T) {
+	in, out := run(t, "GEMM")
+	a, b, c := in[:n*n], in[n*n:2*n*n], in[2*n*n:]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			want := alpha*s + beta*c[i*n+j]
+			if !approx(out[i*n+j], want, 1e-4) {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, out[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestMVTAgainstNaive(t *testing.T) {
+	in, out := run(t, "MVT")
+	a := in[:n*n]
+	x1, x2 := in[n*n:n*n+n], in[n*n+n:n*n+2*n]
+	y1, y2 := in[n*n+2*n:n*n+3*n], in[n*n+3*n:]
+	for i := 0; i < n; i++ {
+		w1, w2 := x1[i], x2[i]
+		for j := 0; j < n; j++ {
+			w1 += a[i*n+j] * y1[j]
+			w2 += a[j*n+i] * y2[j]
+		}
+		if !approx(out[i], w1, 1e-4) || !approx(out[n+i], w2, 1e-4) {
+			t.Fatalf("mvt row %d mismatch", i)
+		}
+	}
+}
+
+func TestGESUMAgainstNaive(t *testing.T) {
+	in, out := run(t, "GESUM")
+	a, b, x := in[:n*n], in[n*n:2*n*n], in[2*n*n:]
+	for i := 0; i < n; i++ {
+		var sa, sb float32
+		for j := 0; j < n; j++ {
+			sa += a[i*n+j] * x[j]
+			sb += b[i*n+j] * x[j]
+		}
+		if !approx(out[i], alpha*sa+beta*sb, 1e-4) {
+			t.Fatalf("y[%d] mismatch", i)
+		}
+	}
+}
+
+func TestConv2DProperties(t *testing.T) {
+	_, out := run(t, "2DCON")
+	// Borders are untouched (zero).
+	for i := 0; i < n; i++ {
+		if out[i] != 0 || out[(n-1)*n+i] != 0 || out[i*n] != 0 || out[i*n+n-1] != 0 {
+			t.Fatal("convolution wrote the border")
+		}
+	}
+	// A constant field convolves to constant × Σcoeff = 0.5.
+	in := make([]float32, n*n)
+	for i := range in {
+		in[i] = 1
+	}
+	res := make([]float32, n*n)
+	conv2d(n, in, res)
+	if !approx(res[5*n+5], 0.5, 1e-4) {
+		t.Errorf("constant-field response = %v, want 0.5 (coefficient sum)", res[5*n+5])
+	}
+}
+
+func TestSYRKSymmetric(t *testing.T) {
+	in, out := run(t, "SYRK")
+	// α·A·Aᵀ is symmetric; β·C breaks it only by C's asymmetry. Use C=0.
+	copyIn := append([]float32(nil), in...)
+	for i := n * n; i < 2*n*n; i++ {
+		copyIn[i] = 0
+	}
+	res := make([]float32, n*n)
+	syrk(n, copyIn, res)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if !approx(res[i*n+j], res[j*n+i], 1e-4) {
+				t.Fatalf("syrk output not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Diagonal of A·Aᵀ is a sum of squares: positive.
+	for i := 0; i < n; i++ {
+		if res[i*n+i] <= 0 {
+			t.Fatal("syrk diagonal not positive")
+		}
+	}
+	_ = out
+}
+
+func TestSYR2KSymmetricWithSymmetricC(t *testing.T) {
+	in, _ := run(t, "SYR2K")
+	cp := append([]float32(nil), in...)
+	for i := 0; i < n; i++ { // symmetrize C
+		for j := 0; j < n; j++ {
+			cp[2*n*n+i*n+j] = cp[2*n*n+j*n+i]
+		}
+	}
+	res := make([]float32, n*n)
+	syr2k(n, cp, res)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if !approx(res[i*n+j], res[j*n+i], 1e-3) {
+				t.Fatalf("syr2k not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCORRDiagonalIsOne(t *testing.T) {
+	_, out := run(t, "CORR")
+	for i := 0; i < n; i++ {
+		if !approx(out[i*n+i], 1, 1e-3) {
+			t.Fatalf("corr[%d,%d] = %v, want 1", i, i, out[i*n+i])
+		}
+	}
+	for i := 0; i < n*n; i++ {
+		if out[i] > 1.01 || out[i] < -1.01 {
+			t.Fatalf("correlation %v outside [-1,1]", out[i])
+		}
+	}
+}
+
+func TestCOVARSymmetric(t *testing.T) {
+	_, out := run(t, "COVAR")
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if !approx(out[i*n+j], out[j*n+i], 1e-4) {
+				t.Fatalf("covariance not symmetric at (%d,%d)", i, j)
+			}
+		}
+		if out[i*n+i] < 0 {
+			t.Fatal("negative variance")
+		}
+	}
+}
+
+func Test3MMMatchesComposedGEMMs(t *testing.T) {
+	in, out := run(t, "3MM")
+	a, b, c, d := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n], in[3*n*n:]
+	e := make([]float32, n*n)
+	f := make([]float32, n*n)
+	g := make([]float32, n*n)
+	matmul(n, a, b, e)
+	matmul(n, c, d, f)
+	matmul(n, e, f, g)
+	for i := range g {
+		if !approx(out[i], g[i], 1e-3) {
+			t.Fatalf("3mm[%d] = %v, want %v", i, out[i], g[i])
+		}
+	}
+}
+
+func Test2MMMatchesComposition(t *testing.T) {
+	in, out := run(t, "2MM")
+	a, b, c, d := in[:n*n], in[n*n:2*n*n], in[2*n*n:3*n*n], in[3*n*n:]
+	tmp := make([]float32, n*n)
+	matmul(n, a, b, tmp)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += tmp[i*n+k] * c[k*n+j]
+			}
+			want := alpha*s + beta*d[i*n+j]
+			if !approx(out[i*n+j], want, 1e-3) {
+				t.Fatalf("2mm (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestADIAndFDTDProduceFiniteNonTrivialOutput(t *testing.T) {
+	for _, name := range []string{"ADI", "FDTD"} {
+		_, out := run(t, name)
+		var nonzero int
+		for _, v := range out {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s produced non-finite value", name)
+			}
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero < len(out)/4 {
+			t.Errorf("%s output mostly zero (%d/%d)", name, nonzero, len(out))
+		}
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	a, _ := Input("GEMM", 8)
+	b, _ := Input("GEMM", 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("inputs not deterministic")
+		}
+	}
+	c, _ := Input("ATAX", 8)
+	if a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Error("different kernels share input streams")
+	}
+}
+
+func TestUnknownKernel(t *testing.T) {
+	if _, err := Input("NOPE", 4); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := Reference("NOPE", 4, nil); err == nil {
+		t.Error("unknown reference accepted")
+	}
+	if _, _, _, err := App("NOPE", 4, 0, 0); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestEveryKernelThroughDevice runs each functional kernel end to end on an
+// IntraO3 device and compares the flash output with the direct reference.
+func TestEveryKernelThroughDevice(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := core.DefaultConfig(core.IntraO3)
+			cfg.Functional = true
+			d, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outAddr := int64(1 * units.GB)
+			tab, input, outBytes, err := App(name, n, 0, outAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.PopulateInput(0, int64(len(input)), input); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.OffloadApp(name, []*kdt.Table{tab}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.Visor().ReadBytes(outAddr, outBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := kernel.BytesToF32(input)
+			want, _ := Reference(name, n, in)
+			gotF := kernel.BytesToF32(got)
+			for i := range want {
+				if !approx(gotF[i], want[i], 1e-4) {
+					t.Fatalf("flash output[%d] = %v, want %v", i, gotF[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionedGEMMThroughDevice verifies the multi-screen functional
+// path: four screens compute row bands on different LWPs and the assembled
+// flash region matches whole-matrix GEMM.
+func TestPartitionedGEMMThroughDevice(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Functional = true
+	d, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outAddr := int64(1 * units.GB)
+	tab, input, outBytes, err := PartitionedGEMM(n, 4, 0, outAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PopulateInput(0, int64(len(input)), input); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.OffloadApp("gemm-part", []*kdt.Table{tab}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Visor().ReadBytes(outAddr, outBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference("GEMM", n, kernel.BytesToF32(input))
+	gotF := kernel.BytesToF32(got)
+	for i := range want {
+		if !approx(gotF[i], want[i], 1e-4) {
+			t.Fatalf("partitioned output[%d] = %v, want %v", i, gotF[i], want[i])
+		}
+	}
+}
+
+func TestPartitionedGEMMValidation(t *testing.T) {
+	if _, _, _, err := PartitionedGEMM(4, 8, 0, 0); err == nil {
+		t.Error("more screens than rows accepted")
+	}
+}

@@ -1,0 +1,477 @@
+// Package rbtree implements the augmented red-black interval tree that backs
+// Flashvisor's range locks (paper §4.3): each node is keyed by the start page
+// of a mapped data section and augmented with the interval end and the
+// subtree maximum end, so overlap queries run in O(log n + k).
+//
+// The tree stores half-open intervals [Start, End). Multiple intervals may
+// share a start key; they are chained per node, which matches the lock
+// manager's need to hold several reader ranges at one address.
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Item is an interval payload stored in the tree.
+type Item struct {
+	Start, End int64 // half-open [Start, End)
+	Value      interface{}
+}
+
+type node struct {
+	items               []Item // all share the same Start
+	start               int64
+	maxEnd              int64 // max End over this subtree
+	c                   color
+	left, right, parent *node
+}
+
+// Tree is an augmented interval tree. The zero value is an empty tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.size }
+
+func (n *node) localMaxEnd() int64 {
+	m := int64(-1 << 62)
+	for _, it := range n.items {
+		if it.End > m {
+			m = it.End
+		}
+	}
+	return m
+}
+
+func (n *node) updateMaxEnd() {
+	m := n.localMaxEnd()
+	if n.left != nil && n.left.maxEnd > m {
+		m = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > m {
+		m = n.right.maxEnd
+	}
+	n.maxEnd = m
+}
+
+func (t *Tree) fixMaxUp(n *node) {
+	for n != nil {
+		old := n.maxEnd
+		n.updateMaxEnd()
+		if n.maxEnd == old {
+			// Still propagate: rotations may have left stale ancestors.
+		}
+		n = n.parent
+	}
+}
+
+func (t *Tree) rotateLeft(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	x.updateMaxEnd()
+	y.updateMaxEnd()
+}
+
+func (t *Tree) rotateRight(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	x.updateMaxEnd()
+	y.updateMaxEnd()
+}
+
+// Insert adds interval it to the tree.
+func (t *Tree) Insert(it Item) {
+	t.size++
+	if t.root == nil {
+		t.root = &node{items: []Item{it}, start: it.Start, maxEnd: it.End, c: black}
+		return
+	}
+	cur := t.root
+	for {
+		if it.Start == cur.start {
+			cur.items = append(cur.items, it)
+			t.fixMaxUp(cur)
+			return
+		}
+		if it.Start < cur.start {
+			if cur.left == nil {
+				cur.left = &node{items: []Item{it}, start: it.Start, maxEnd: it.End, parent: cur}
+				t.fixMaxUp(cur.left)
+				t.insertFix(cur.left)
+				return
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = &node{items: []Item{it}, start: it.Start, maxEnd: it.End, parent: cur}
+				t.fixMaxUp(cur.right)
+				t.insertFix(cur.right)
+				return
+			}
+			cur = cur.right
+		}
+	}
+}
+
+func (t *Tree) insertFix(z *node) {
+	for z.parent != nil && z.parent.c == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.c == red {
+				z.parent.c = black
+				uncle.c = black
+				gp.c = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.c = black
+			gp.c = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.c == red {
+				z.parent.c = black
+				uncle.c = black
+				gp.c = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.c = black
+			gp.c = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.c = black
+	// Rotations adjusted local maxEnd; refresh the path to the root.
+	t.fixMaxUp(z)
+}
+
+// Delete removes one interval matching start, end, and value identity.
+// It reports whether a matching interval was found.
+func (t *Tree) Delete(start, end int64, value interface{}) bool {
+	n := t.root
+	for n != nil && n.start != start {
+		if start < n.start {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return false
+	}
+	idx := -1
+	for i, it := range n.items {
+		if it.End == end && it.Value == value {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	t.size--
+	if len(n.items) > 1 {
+		n.items = append(n.items[:idx], n.items[idx+1:]...)
+		t.fixMaxUp(n)
+		return true
+	}
+	t.deleteNode(n)
+	return true
+}
+
+func (t *Tree) deleteNode(z *node) {
+	// Standard CLRS delete with max-end fixups.
+	var x, xParent *node
+	y := z
+	yColor := y.c
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minimum(z.right)
+		yColor = y.c
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.c = z.c
+	}
+	if xParent != nil {
+		t.fixMaxUp(xParent)
+	}
+	if yColor == black {
+		t.deleteFix(x, xParent)
+	}
+}
+
+func (t *Tree) transplant(u, v *node) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func minimum(n *node) *node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func isBlack(n *node) bool { return n == nil || n.c == black }
+
+func (t *Tree) deleteFix(x, parent *node) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w == nil {
+				break
+			}
+			if w.c == red {
+				w.c = black
+				parent.c = red
+				t.rotateLeft(parent)
+				w = parent.right
+				if w == nil {
+					break
+				}
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.right) {
+					if w.left != nil {
+						w.left.c = black
+					}
+					w.c = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.right != nil {
+					w.right.c = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if w == nil {
+				break
+			}
+			if w.c == red {
+				w.c = black
+				parent.c = red
+				t.rotateRight(parent)
+				w = parent.left
+				if w == nil {
+					break
+				}
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.left) {
+					if w.right != nil {
+						w.right.c = black
+					}
+					w.c = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.left != nil {
+					w.left.c = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.c = black
+	}
+}
+
+// Overlaps calls fn for every stored interval that overlaps [start, end).
+// If fn returns false, iteration stops early.
+func (t *Tree) Overlaps(start, end int64, fn func(Item) bool) {
+	t.overlaps(t.root, start, end, fn)
+}
+
+func (t *Tree) overlaps(n *node, start, end int64, fn func(Item) bool) bool {
+	if n == nil || n.maxEnd <= start {
+		return true
+	}
+	if !t.overlaps(n.left, start, end, fn) {
+		return false
+	}
+	if n.start < end {
+		for _, it := range n.items {
+			if it.Start < end && it.End > start {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		if !t.overlaps(n.right, start, end, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyOverlap reports whether any stored interval overlaps [start, end).
+func (t *Tree) AnyOverlap(start, end int64) bool {
+	found := false
+	t.Overlaps(start, end, func(Item) bool { found = true; return false })
+	return found
+}
+
+// All calls fn for every stored interval in start order.
+func (t *Tree) All(fn func(Item) bool) { t.all(t.root, fn) }
+
+func (t *Tree) all(n *node, fn func(Item) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.all(n.left, fn) {
+		return false
+	}
+	for _, it := range n.items {
+		if !fn(it) {
+			return false
+		}
+	}
+	return t.all(n.right, fn)
+}
+
+// checkInvariants validates red-black and augmentation invariants; it is
+// used by tests and returns a descriptive error string or "".
+func (t *Tree) checkInvariants() string {
+	if t.root == nil {
+		return ""
+	}
+	if t.root.c != black {
+		return "root is red"
+	}
+	_, msg := check(t.root)
+	return msg
+}
+
+func check(n *node) (blackHeight int, msg string) {
+	if n == nil {
+		return 1, ""
+	}
+	if n.c == red {
+		if !isBlack(n.left) || !isBlack(n.right) {
+			return 0, "red node with red child"
+		}
+	}
+	if n.left != nil && n.left.start >= n.start {
+		return 0, "left child key out of order"
+	}
+	if n.right != nil && n.right.start <= n.start {
+		return 0, "right child key out of order"
+	}
+	want := n.localMaxEnd()
+	if n.left != nil && n.left.maxEnd > want {
+		want = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > want {
+		want = n.right.maxEnd
+	}
+	if n.maxEnd != want {
+		return 0, "stale maxEnd augmentation"
+	}
+	lh, m := check(n.left)
+	if m != "" {
+		return 0, m
+	}
+	rh, m := check(n.right)
+	if m != "" {
+		return 0, m
+	}
+	if lh != rh {
+		return 0, "black height mismatch"
+	}
+	if n.c == black {
+		lh++
+	}
+	return lh, ""
+}

@@ -1,0 +1,250 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndLen(t *testing.T) {
+	var tr Tree
+	tr.Insert(Item{Start: 10, End: 20, Value: 1})
+	tr.Insert(Item{Start: 5, End: 8, Value: 2})
+	tr.Insert(Item{Start: 30, End: 45, Value: 3})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if msg := tr.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+func TestDuplicateStartKeys(t *testing.T) {
+	var tr Tree
+	tr.Insert(Item{Start: 10, End: 20, Value: 1})
+	tr.Insert(Item{Start: 10, End: 30, Value: 2})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if !tr.AnyOverlap(25, 26) {
+		t.Error("should overlap the longer duplicate")
+	}
+	if !tr.Delete(10, 30, 2) {
+		t.Fatal("delete of duplicate failed")
+	}
+	if tr.AnyOverlap(25, 26) {
+		t.Error("overlap should be gone after deleting longer duplicate")
+	}
+	if !tr.AnyOverlap(15, 16) {
+		t.Error("remaining duplicate lost")
+	}
+}
+
+func TestOverlapSemantics(t *testing.T) {
+	var tr Tree
+	tr.Insert(Item{Start: 10, End: 20, Value: 1})
+	tests := []struct {
+		s, e int64
+		want bool
+	}{
+		{0, 10, false},  // adjacent below (half-open)
+		{20, 30, false}, // adjacent above
+		{0, 11, true},
+		{19, 25, true},
+		{12, 15, true}, // contained
+		{5, 30, true},  // containing
+	}
+	for _, tt := range tests {
+		if got := tr.AnyOverlap(tt.s, tt.e); got != tt.want {
+			t.Errorf("AnyOverlap(%d,%d) = %v, want %v", tt.s, tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	var tr Tree
+	tr.Insert(Item{Start: 1, End: 2, Value: 1})
+	if tr.Delete(1, 3, 1) {
+		t.Error("deleted interval with wrong end")
+	}
+	if tr.Delete(2, 3, 1) {
+		t.Error("deleted missing start key")
+	}
+	if tr.Delete(1, 2, 99) {
+		t.Error("deleted interval with wrong value")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len changed to %d", tr.Len())
+	}
+}
+
+func TestAllInOrder(t *testing.T) {
+	var tr Tree
+	starts := []int64{42, 7, 19, 3, 88, 55, 21}
+	for i, s := range starts {
+		tr.Insert(Item{Start: s, End: s + 1, Value: i})
+	}
+	var got []int64
+	tr.All(func(it Item) bool { got = append(got, it.Start); return true })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("All not in order: %v", got)
+	}
+	if len(got) != len(starts) {
+		t.Errorf("All visited %d, want %d", len(got), len(starts))
+	}
+}
+
+// reference is a brute-force oracle.
+type reference []Item
+
+func (r reference) overlaps(s, e int64) []int {
+	var ids []int
+	for _, it := range r {
+		if it.Start < e && it.End > s {
+			ids = append(ids, it.Value.(int))
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tr Tree
+	var ref reference
+	id := 0
+	for step := 0; step < 3000; step++ {
+		switch {
+		case len(ref) == 0 || rng.Intn(3) > 0:
+			s := int64(rng.Intn(1000))
+			e := s + 1 + int64(rng.Intn(100))
+			it := Item{Start: s, End: e, Value: id}
+			id++
+			tr.Insert(it)
+			ref = append(ref, it)
+		default:
+			i := rng.Intn(len(ref))
+			it := ref[i]
+			if !tr.Delete(it.Start, it.End, it.Value) {
+				t.Fatalf("step %d: delete %+v failed", step, it)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+		if step%50 == 0 {
+			if msg := tr.checkInvariants(); msg != "" {
+				t.Fatalf("step %d: invariant: %s", step, msg)
+			}
+		}
+		if step%20 == 0 {
+			qs := int64(rng.Intn(1000))
+			qe := qs + 1 + int64(rng.Intn(150))
+			var got []int
+			tr.Overlaps(qs, qe, func(it Item) bool {
+				got = append(got, it.Value.(int))
+				return true
+			})
+			sort.Ints(got)
+			want := ref.overlaps(qs, qe)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: query [%d,%d) got %v want %v", step, qs, qe, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: query [%d,%d) got %v want %v", step, qs, qe, got, want)
+				}
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+}
+
+func TestInvariantsHoldUnderSequentialInserts(t *testing.T) {
+	// Sequential keys are the worst case for naive BSTs; the red-black
+	// balancing must keep the tree valid.
+	var tr Tree
+	for i := 0; i < 2000; i++ {
+		tr.Insert(Item{Start: int64(i) * 10, End: int64(i)*10 + 5, Value: i})
+	}
+	if msg := tr.checkInvariants(); msg != "" {
+		t.Fatalf("invariant: %s", msg)
+	}
+	// Every inserted interval must be findable.
+	n := 0
+	tr.All(func(Item) bool { n++; return true })
+	if n != 2000 {
+		t.Fatalf("All visited %d, want 2000", n)
+	}
+}
+
+func TestQuickInsertDeleteRoundTrip(t *testing.T) {
+	f := func(startsRaw []uint16) bool {
+		var tr Tree
+		items := make([]Item, 0, len(startsRaw))
+		for i, s := range startsRaw {
+			it := Item{Start: int64(s), End: int64(s) + 10, Value: i}
+			tr.Insert(it)
+			items = append(items, it)
+		}
+		if tr.checkInvariants() != "" {
+			return false
+		}
+		for _, it := range items {
+			if !tr.Delete(it.Start, it.End, it.Value) {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.checkInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapsEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 10; i++ {
+		tr.Insert(Item{Start: int64(i), End: 100, Value: i})
+	}
+	count := 0
+	tr.Overlaps(0, 100, func(Item) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tr Tree
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := int64(rng.Intn(1 << 20))
+		tr.Insert(Item{Start: s, End: s + 64, Value: i})
+		if tr.Len() > 1024 {
+			tr.All(func(it Item) bool {
+				tr.Delete(it.Start, it.End, it.Value)
+				return false
+			})
+		}
+	}
+}
+
+func BenchmarkOverlapQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var tr Tree
+	for i := 0; i < 4096; i++ {
+		s := int64(rng.Intn(1 << 20))
+		tr.Insert(Item{Start: s, End: s + 128, Value: i})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := int64(rng.Intn(1 << 20))
+		tr.AnyOverlap(s, s+256)
+	}
+}

@@ -1,0 +1,113 @@
+// Package sim implements the discrete-event core of the FlashAbacus
+// simulator: an event engine plus two analytic contention primitives, the
+// serially-reusable Resource and the bandwidth-limited Pipe.
+//
+// The engine is single-goroutine and deterministic: events scheduled for the
+// same timestamp fire in scheduling order. Hardware models reserve time on
+// Resources and Pipes analytically — a reservation immediately returns the
+// interval the work will occupy — so fine-grained contention (flash channels,
+// the Flashvisor LWP, the host storage stack) never needs callback chains.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Time and Duration re-export the shared simulated-time types.
+type (
+	Time     = units.Time
+	Duration = units.Duration
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	count  uint64 // total events executed
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.count }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule enqueues fn to run at the absolute time at. Scheduling in the
+// past is a model bug, so it panics rather than silently reordering time.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Step executes the earliest pending event and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.count++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline if it has not already passed it.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

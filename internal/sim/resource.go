@@ -1,0 +1,128 @@
+package sim
+
+import "repro/internal/units"
+
+// Interval is a half-open busy span [Start, End) recorded by a Resource or
+// Pipe when interval logging is enabled. Tag carries a model-defined label
+// (for example an LWP id or an energy category) for time-series analysis.
+type Interval struct {
+	Start, End Time
+	Tag        int
+}
+
+// Resource is a serially-reusable unit of hardware (an LWP, a flash die, the
+// Flashvisor core). Work is reserved analytically: Reserve returns the
+// interval the work will occupy given everything reserved before it, FIFO.
+//
+// Reservations must be issued with non-decreasing request times, which the
+// event loop guarantees naturally; earlier-time requests after later ones
+// would be a causality bug and are clamped to the current frontier.
+type Resource struct {
+	Name string
+
+	free    Time // next instant the resource is idle
+	busy    Duration
+	logOn   bool
+	logTag  int
+	log     []Interval
+	reserve uint64 // number of reservations
+}
+
+// NewResource returns a named resource that is free at time zero.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// EnableLog turns on interval logging with the given tag.
+func (r *Resource) EnableLog(tag int) { r.logOn = true; r.logTag = tag }
+
+// Reserve books d units of work requested at time at. It returns the start
+// and end of the busy interval. A non-positive duration returns an empty
+// interval at the request time without booking anything.
+func (r *Resource) Reserve(at Time, d Duration) (start, end Time) {
+	if d <= 0 {
+		return units.MaxTime(at, r.free), units.MaxTime(at, r.free)
+	}
+	start = units.MaxTime(at, r.free)
+	end = start + d
+	r.free = end
+	r.busy += d
+	r.reserve++
+	if r.logOn {
+		r.log = append(r.log, Interval{Start: start, End: end, Tag: r.logTag})
+	}
+	return start, end
+}
+
+// ReserveAtOrAfter is Reserve with an additional earliest-start constraint,
+// used when an upstream dependency (for example a range-lock grant) delays
+// the work beyond the request time.
+func (r *Resource) ReserveAtOrAfter(at, earliest Time, d Duration) (start, end Time) {
+	return r.Reserve(units.MaxTime(at, earliest), d)
+}
+
+// FreeAt returns the next instant the resource is idle.
+func (r *Resource) FreeAt() Time { return r.free }
+
+// Busy returns the total booked time.
+func (r *Resource) Busy() Duration { return r.busy }
+
+// Reservations returns how many reservations were made.
+func (r *Resource) Reservations() uint64 { return r.reserve }
+
+// Log returns the recorded busy intervals (nil unless EnableLog was called).
+func (r *Resource) Log() []Interval { return r.log }
+
+// Reset clears all bookings and logs.
+func (r *Resource) Reset() {
+	r.free, r.busy, r.reserve = 0, 0, 0
+	r.log = nil
+}
+
+// Pipe is a bandwidth-limited, FIFO transfer channel (a crossbar port, a
+// flash channel bus, the PCIe link). Transfers serialize: each transfer of n
+// bytes occupies the pipe for n/bandwidth.
+type Pipe struct {
+	Name string
+	BW   units.Bandwidth
+	// Latency is a fixed per-transfer latency added before the data moves
+	// (for example a bus turnaround or packet header time). It does not
+	// occupy pipe bandwidth.
+	Latency Duration
+
+	res   Resource
+	bytes int64
+}
+
+// NewPipe returns a pipe with the given bandwidth and zero fixed latency.
+func NewPipe(name string, bw units.Bandwidth) *Pipe {
+	return &Pipe{Name: name, BW: bw, res: Resource{Name: name}}
+}
+
+// EnableLog turns on interval logging with the given tag.
+func (p *Pipe) EnableLog(tag int) { p.res.EnableLog(tag) }
+
+// Transfer books n bytes requested at time at and returns the interval the
+// data occupies the pipe. Zero-byte transfers return an empty interval.
+func (p *Pipe) Transfer(at Time, n int64) (start, end Time) {
+	if n <= 0 {
+		return at, at
+	}
+	d := p.BW.DurationFor(n)
+	start, end = p.res.Reserve(at+p.Latency, d)
+	p.bytes += n
+	return start, end
+}
+
+// Busy returns the total time the pipe carried data.
+func (p *Pipe) Busy() Duration { return p.res.Busy() }
+
+// Bytes returns the total bytes transferred.
+func (p *Pipe) Bytes() int64 { return p.bytes }
+
+// FreeAt returns the next instant the pipe is idle.
+func (p *Pipe) FreeAt() Time { return p.res.FreeAt() }
+
+// Log returns the recorded busy intervals.
+func (p *Pipe) Log() []Interval { return p.res.Log() }
+
+// Reset clears all bookings and counters.
+func (p *Pipe) Reset() { p.res.Reset(); p.bytes = 0 }

@@ -1,0 +1,119 @@
+// Package stats aggregates run metrics into the quantities the paper's
+// evaluation reports: throughput, latency min/avg/max, completion CDFs,
+// processor utilization, execution-time breakdowns, and time series.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flashvisor"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Result is the outcome of one device run.
+type Result struct {
+	System   string
+	Workload string
+
+	Makespan units.Duration
+	Bytes    int64 // input data processed (read by kernels)
+
+	// KernelLatencies holds each kernel's issue-to-completion latency in
+	// arrival order; CompletionTimes holds absolute completion stamps for
+	// the Fig. 12 CDFs.
+	KernelLatencies []units.Duration
+	CompletionTimes []sim.Time
+
+	// WorkerUtil is average worker execution time over the makespan
+	// (Fig. 14's metric), in [0,1].
+	WorkerUtil float64
+
+	Energy      power.Breakdown
+	ByComponent []power.Entry
+
+	// Execution-time decomposition for Fig. 3d: accelerator compute time,
+	// SSD device time, and host storage-stack CPU time.
+	AccelTime units.Duration
+	SSDTime   units.Duration
+	StackTime units.Duration
+
+	// Time series for Fig. 15 (nil unless collection was enabled).
+	SeriesBin   units.Duration
+	FUSeries    []float64
+	PowerSeries []float64
+
+	Visor         flashvisor.Stats
+	BGReclaims    int64
+	Journals      int64
+	LockConflicts int64
+	LockWaited    units.Duration
+	DrainTime     units.Duration // device-side background drain past makespan
+}
+
+// ThroughputMBps returns processed bytes over the makespan in MB/s
+// (decimal megabytes, as the paper's axes use).
+func (r *Result) ThroughputMBps() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / units.Seconds(r.Makespan) / 1e6
+}
+
+// LatencyStats returns min, average, and max kernel latency.
+func (r *Result) LatencyStats() (min, avg, max units.Duration) {
+	if len(r.KernelLatencies) == 0 {
+		return 0, 0, 0
+	}
+	min, max = r.KernelLatencies[0], r.KernelLatencies[0]
+	var sum units.Duration
+	for _, l := range r.KernelLatencies {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	return min, sum / units.Duration(len(r.KernelLatencies)), max
+}
+
+// CDF returns the kernel-completion distribution as (time, count) steps,
+// the shape Fig. 12 plots.
+func (r *Result) CDF() []CDFPoint {
+	ts := append([]sim.Time(nil), r.CompletionTimes...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]CDFPoint, len(ts))
+	for i, t := range ts {
+		out[i] = CDFPoint{Time: t, Completed: i + 1}
+	}
+	return out
+}
+
+// CDFPoint is one step of a completion CDF.
+type CDFPoint struct {
+	Time      sim.Time
+	Completed int
+}
+
+// BreakdownFracs normalizes the Fig. 3d time decomposition. The three
+// shares sum to 1 when any time was recorded.
+func (r *Result) BreakdownFracs() (accel, ssd, stack float64) {
+	total := float64(r.AccelTime + r.SSDTime + r.StackTime)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.AccelTime) / total, float64(r.SSDTime) / total, float64(r.StackTime) / total
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	mn, av, mx := r.LatencyStats()
+	return fmt.Sprintf("%s/%s: %.1f MB/s, makespan %s, lat[min/avg/max] %s/%s/%s, util %.0f%%, energy %.2f J",
+		r.Workload, r.System, r.ThroughputMBps(), units.FormatDuration(r.Makespan),
+		units.FormatDuration(mn), units.FormatDuration(av), units.FormatDuration(mx),
+		r.WorkerUtil*100, r.Energy.Total())
+}

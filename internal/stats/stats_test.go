@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestThroughput(t *testing.T) {
+	r := Result{Bytes: 500 * 1000 * 1000, Makespan: units.Second}
+	if got := r.ThroughputMBps(); math.Abs(got-500) > 1e-9 {
+		t.Errorf("throughput = %v, want 500", got)
+	}
+	empty := Result{}
+	if empty.ThroughputMBps() != 0 {
+		t.Error("zero makespan should yield zero throughput")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	r := Result{KernelLatencies: []units.Duration{30, 10, 20}}
+	mn, av, mx := r.LatencyStats()
+	if mn != 10 || av != 20 || mx != 30 {
+		t.Errorf("latency stats = %d/%d/%d", mn, av, mx)
+	}
+	var empty Result
+	if a, b, c := empty.LatencyStats(); a != 0 || b != 0 || c != 0 {
+		t.Error("empty latencies should be zero")
+	}
+}
+
+func TestCDFSortedAndCounted(t *testing.T) {
+	r := Result{CompletionTimes: []units.Time{50, 10, 30}}
+	cdf := r.CDF()
+	if len(cdf) != 3 {
+		t.Fatalf("cdf len = %d", len(cdf))
+	}
+	if cdf[0].Time != 10 || cdf[0].Completed != 1 {
+		t.Errorf("first point = %+v", cdf[0])
+	}
+	if cdf[2].Time != 50 || cdf[2].Completed != 3 {
+		t.Errorf("last point = %+v", cdf[2])
+	}
+	// Original slice untouched.
+	if r.CompletionTimes[0] != 50 {
+		t.Error("CDF mutated input")
+	}
+}
+
+func TestBreakdownFracs(t *testing.T) {
+	r := Result{AccelTime: 20, SSDTime: 30, StackTime: 50}
+	a, s, st := r.BreakdownFracs()
+	if math.Abs(a-0.2) > 1e-12 || math.Abs(s-0.3) > 1e-12 || math.Abs(st-0.5) > 1e-12 {
+		t.Errorf("fracs = %v %v %v", a, s, st)
+	}
+	var empty Result
+	if a, s, st := empty.BreakdownFracs(); a+s+st != 0 {
+		t.Error("empty breakdown should be zero")
+	}
+}
+
+func TestStringIncludesKeyNumbers(t *testing.T) {
+	r := Result{System: "IntraO3", Workload: "ATAX", Bytes: 1e9, Makespan: units.Second,
+		KernelLatencies: []units.Duration{units.Second}}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+	for _, want := range []string{"ATAX", "IntraO3", "1000.0 MB/s"} {
+		if !contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

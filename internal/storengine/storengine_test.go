@@ -1,0 +1,171 @@
+package storengine
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/flashctrl"
+	"repro/internal/flashvisor"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// smallGeo mirrors the flashvisor test geometry so GC triggers quickly.
+func smallGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels:      4,
+		PackagesPerCh: 1,
+		DiesPerPkg:    1,
+		PlanesPerDie:  2,
+		PageSize:      8 * units.KB,
+		PagesPerBlock: 8,
+		BlocksPerDie:  8,
+		MetaPages:     2,
+	}
+}
+
+func newVisor(t *testing.T) *flashvisor.Visor {
+	t.Helper()
+	bb, err := flash.NewBackbone(smallGeo(), flash.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := flashctrl.New(flashctrl.DefaultConfig(), bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddr, _ := mem.New(mem.DDR3LConfig())
+	spad, _ := mem.New(mem.ScratchpadConfig())
+	net, _ := noc.New(noc.DefaultConfig())
+	v, err := flashvisor.New(flashvisor.DefaultConfig(), ctrl, ddr, spad, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	var eng sim.Engine
+	v := newVisor(t)
+	bad := DefaultConfig()
+	bad.ScanPeriod = 0
+	if _, err := New(bad, &eng, v); err == nil {
+		t.Error("zero scan period accepted")
+	}
+	bad = DefaultConfig()
+	bad.GCThreshold = 0
+	if _, err := New(bad, &eng, v); err == nil {
+		t.Error("zero GC threshold accepted")
+	}
+	// Disabled engines skip validation entirely.
+	if _, err := New(Config{Enabled: false}, &eng, v); err != nil {
+		t.Errorf("disabled engine rejected: %v", err)
+	}
+}
+
+func TestDisabledEngineDoesNothing(t *testing.T) {
+	var eng sim.Engine
+	v := newVisor(t)
+	e, _ := New(Config{Enabled: false}, &eng, v)
+	e.Start()
+	eng.Run()
+	if e.Stats().Ticks != 0 {
+		t.Error("disabled engine ticked")
+	}
+}
+
+func TestBackgroundReclaimKeepsFreePool(t *testing.T) {
+	var eng sim.Engine
+	v := newVisor(t)
+	cfg := DefaultConfig()
+	cfg.ScanPeriod = 1 * units.Millisecond
+	cfg.GCThreshold = 4
+	e, err := New(cfg, &eng, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill most of the device up front so the pool is below threshold.
+	if _, err := v.MapWrite(0, 1, 0, v.FTL.LogicalBytes(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.FTL.FreeSuperBlocks() >= cfg.GCThreshold {
+		t.Skip("device not low enough on space; geometry changed?")
+	}
+	e.Start()
+	eng.RunUntil(200 * units.Millisecond)
+	e.Stop()
+	eng.Run()
+	if e.Stats().BGReclaims == 0 {
+		t.Error("background GC never ran despite low free pool")
+	}
+	if err := v.FTL.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if e.CPUBusy() == 0 {
+		t.Error("storengine LWP shows no occupancy")
+	}
+}
+
+func TestJournalingIsPeriodic(t *testing.T) {
+	var eng sim.Engine
+	v := newVisor(t)
+	cfg := DefaultConfig()
+	cfg.ScanPeriod = 5 * units.Millisecond
+	cfg.JournalPeriod = 50 * units.Millisecond
+	cfg.JournalBytes = 64 * units.KB
+	e, _ := New(cfg, &eng, v)
+	e.Start()
+	eng.RunUntil(500 * units.Millisecond)
+	e.Stop()
+	eng.Run()
+	// ~500ms / 50ms = about 10 journals (first at ~50ms).
+	if got := e.Stats().Journals; got < 8 || got > 12 {
+		t.Errorf("journals = %d, want ~10", got)
+	}
+	if v.Stats().JournalWrites == 0 {
+		t.Error("journals did not program metadata pages")
+	}
+}
+
+func TestStopHaltsTicks(t *testing.T) {
+	var eng sim.Engine
+	v := newVisor(t)
+	cfg := DefaultConfig()
+	cfg.ScanPeriod = units.Millisecond
+	e, _ := New(cfg, &eng, v)
+	e.Start()
+	eng.RunUntil(10 * units.Millisecond)
+	e.Stop()
+	eng.Run() // must terminate: no rescheduling after Stop
+	ticks := e.Stats().Ticks
+	if ticks == 0 {
+		t.Fatal("never ticked")
+	}
+	if eng.Pending() != 0 {
+		t.Error("events still pending after Stop + Run")
+	}
+}
+
+func TestGreedyPolicyRuns(t *testing.T) {
+	var eng sim.Engine
+	v := newVisor(t)
+	cfg := DefaultConfig()
+	cfg.ScanPeriod = units.Millisecond
+	cfg.Greedy = true
+	e, _ := New(cfg, &eng, v)
+	if _, err := v.MapWrite(0, 1, 0, v.FTL.LogicalBytes(), nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	eng.RunUntil(100 * units.Millisecond)
+	e.Stop()
+	eng.Run()
+	if e.Stats().BGReclaims == 0 {
+		t.Error("greedy GC never ran")
+	}
+	if err := v.FTL.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kdt"
+)
+
+// TestSynthesizedReadsStayInsideInput: every READ op of every synthesized
+// kernel must fall inside the populated input region — a violated bound
+// would fault as an unmapped-group read at run time.
+func TestSynthesizedReadsStayInsideInput(t *testing.T) {
+	for _, scale := range []int64{1, 4, 16, 64, 256} {
+		o := DefaultOptions()
+		o.Scale = scale
+		for _, name := range append(Names(), BigdataNames()...) {
+			b, err := Homogeneous(name, o)
+			if err != nil {
+				t.Fatalf("%s@%d: %v", name, scale, err)
+			}
+			in := b.Populate[0]
+			for _, app := range b.Apps {
+				for _, tab := range app.Tables {
+					for _, mb := range tab.Microblocks {
+						for _, scr := range mb.Screens {
+							for _, op := range scr.Ops {
+								if op.Kind != kdt.OpRead {
+									continue
+								}
+								if op.FlashAddr < in.Addr || op.FlashAddr+op.Bytes > in.Addr+in.Bytes {
+									t.Fatalf("%s@%d: read [%d,%d) outside input [%d,%d)",
+										name, scale, op.FlashAddr, op.FlashAddr+op.Bytes,
+										in.Addr, in.Addr+in.Bytes)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSerialShareIsMinority: serial microblocks must carry a minority of
+// each kernel's instructions whenever parallel stages exist (DESIGN.md's
+// 15% modelling choice).
+func TestSerialShareIsMinority(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 16
+	for _, name := range Names() {
+		s, _ := Lookup(name)
+		if s.SerialMB == 0 || s.SerialMB >= s.MBlocks {
+			continue
+		}
+		b, _ := Homogeneous(name, o)
+		tab := b.Apps[0].Tables[0]
+		var serial, total int64
+		for _, mb := range tab.Microblocks {
+			for _, scr := range mb.Screens {
+				for _, op := range scr.Ops {
+					if op.Kind == kdt.OpCompute {
+						total += op.Instr
+						if mb.Serial() {
+							serial += op.Instr
+						}
+					}
+				}
+			}
+		}
+		frac := float64(serial) / float64(total)
+		if frac < 0.05 || frac > 0.30 {
+			t.Errorf("%s: serial instruction share %.2f outside [0.05,0.30]", name, frac)
+		}
+	}
+}
+
+// TestBundleBytesMatchOps: the bundle's advertised byte count must equal
+// the sum of its READ ops (it is the throughput numerator).
+func TestBundleBytesMatchOps(t *testing.T) {
+	f := func(mixRaw uint8, scaleRaw uint8) bool {
+		n := int(mixRaw)%MixCount + 1
+		o := DefaultOptions()
+		o.Scale = int64(scaleRaw)%64 + 1
+		b, err := Mix(n, o)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, app := range b.Apps {
+			for _, tab := range app.Tables {
+				sum += bundleReadBytes(tab)
+			}
+		}
+		return sum == b.Bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstancesShareInputRange: all instances of one application read the
+// same populated region (the shared-dataset model that exercises shared
+// read locks).
+func TestInstancesShareInputRange(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 32
+	b, _ := Homogeneous("MVT", o)
+	var first *kdt.Op
+	for _, app := range b.Apps {
+		for _, tab := range app.Tables {
+			op := &tab.Microblocks[0].Screens[0].Ops[0]
+			if first == nil {
+				first = op
+			} else if op.FlashAddr != first.FlashAddr {
+				t.Fatal("instances do not share the input region")
+			}
+		}
+	}
+}
