@@ -8,6 +8,8 @@ package flashabacus
 // results next to the timings.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -37,7 +39,7 @@ func BenchmarkTable2Workloads(b *testing.B) {
 
 func BenchmarkFig3bThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig3Sensitivity(benchScale)
+		points, err := experiments.Fig3Sensitivity(context.Background(), benchScale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +53,7 @@ func BenchmarkFig3bThroughput(b *testing.B) {
 
 func BenchmarkFig3cUtilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig3Sensitivity(benchScale)
+		points, err := experiments.Fig3Sensitivity(context.Background(), benchScale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,10 +68,10 @@ func BenchmarkFig3cUtilization(b *testing.B) {
 func BenchmarkFig3dBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig3d(); err != nil {
+		if _, err := s.Fig3d(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		r, _ := s.Homogeneous("ATAX", core.SIMD)
+		r, _ := s.Homogeneous(context.Background(), "ATAX", core.SIMD)
 		_, ssd, stack := r.BreakdownFracs()
 		b.ReportMetric((ssd+stack)*100, "ATAX-storage-time%")
 	}
@@ -78,7 +80,7 @@ func BenchmarkFig3dBreakdown(b *testing.B) {
 func BenchmarkFig3eEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig3e(); err != nil {
+		if _, err := s.Fig3e(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,11 +89,11 @@ func BenchmarkFig3eEnergy(b *testing.B) {
 func BenchmarkFig10aHomogeneous(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig10a(); err != nil {
+		if _, err := s.Fig10a(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		simd, _ := s.Homogeneous("ATAX", core.SIMD)
-		o3, _ := s.Homogeneous("ATAX", core.IntraO3)
+		simd, _ := s.Homogeneous(context.Background(), "ATAX", core.SIMD)
+		o3, _ := s.Homogeneous(context.Background(), "ATAX", core.IntraO3)
 		b.ReportMetric(o3.ThroughputMBps()/simd.ThroughputMBps(), "ATAX-IntraO3/SIMD")
 	}
 }
@@ -99,11 +101,11 @@ func BenchmarkFig10aHomogeneous(b *testing.B) {
 func BenchmarkFig10bHeterogeneous(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig10b(); err != nil {
+		if _, err := s.Fig10b(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		dy, _ := s.Heterogeneous(1, core.InterDy)
-		o3, _ := s.Heterogeneous(1, core.IntraO3)
+		dy, _ := s.Heterogeneous(context.Background(), 1, core.InterDy)
+		o3, _ := s.Heterogeneous(context.Background(), 1, core.IntraO3)
 		b.ReportMetric(o3.ThroughputMBps()/dy.ThroughputMBps(), "MX1-IntraO3/InterDy")
 	}
 }
@@ -111,7 +113,7 @@ func BenchmarkFig10bHeterogeneous(b *testing.B) {
 func BenchmarkFig11aLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig11a(); err != nil {
+		if _, err := s.Fig11a(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +122,7 @@ func BenchmarkFig11aLatency(b *testing.B) {
 func BenchmarkFig11bLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig11b(); err != nil {
+		if _, err := s.Fig11b(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -129,7 +131,7 @@ func BenchmarkFig11bLatency(b *testing.B) {
 func BenchmarkFig12aCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		r, err := s.Homogeneous("ATAX", core.IntraO3)
+		r, err := s.Homogeneous(context.Background(), "ATAX", core.IntraO3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +144,7 @@ func BenchmarkFig12aCDF(b *testing.B) {
 func BenchmarkFig12bCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		r, err := s.Heterogeneous(1, core.IntraO3)
+		r, err := s.Heterogeneous(context.Background(), 1, core.IntraO3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,11 +157,11 @@ func BenchmarkFig12bCDF(b *testing.B) {
 func BenchmarkFig13aEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig13a(); err != nil {
+		if _, err := s.Fig13a(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		simd, _ := s.Homogeneous("ATAX", core.SIMD)
-		o3, _ := s.Homogeneous("ATAX", core.IntraO3)
+		simd, _ := s.Homogeneous(context.Background(), "ATAX", core.SIMD)
+		o3, _ := s.Homogeneous(context.Background(), "ATAX", core.IntraO3)
 		b.ReportMetric((1-o3.Energy.Total()/simd.Energy.Total())*100, "ATAX-energy-saving%")
 	}
 }
@@ -167,7 +169,7 @@ func BenchmarkFig13aEnergy(b *testing.B) {
 func BenchmarkFig13bEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig13b(); err != nil {
+		if _, err := s.Fig13b(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,10 +178,10 @@ func BenchmarkFig13bEnergy(b *testing.B) {
 func BenchmarkFig14aUtilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig14a(); err != nil {
+		if _, err := s.Fig14a(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		dy, _ := s.Homogeneous("ATAX", core.InterDy)
+		dy, _ := s.Homogeneous(context.Background(), "ATAX", core.InterDy)
 		b.ReportMetric(dy.WorkerUtil*100, "ATAX-InterDy-util%")
 	}
 }
@@ -187,7 +189,7 @@ func BenchmarkFig14aUtilization(b *testing.B) {
 func BenchmarkFig14bUtilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig14b(); err != nil {
+		if _, err := s.Fig14b(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,7 +198,7 @@ func BenchmarkFig14bUtilization(b *testing.B) {
 func BenchmarkFig15aFUSeries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		res, err := s.Fig15()
+		res, err := s.Fig15(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +211,7 @@ func BenchmarkFig15aFUSeries(b *testing.B) {
 func BenchmarkFig15bPowerSeries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		res, err := s.Fig15()
+		res, err := s.Fig15(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,11 +228,11 @@ func BenchmarkFig15bPowerSeries(b *testing.B) {
 func BenchmarkFig16aBigdata(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig16a(); err != nil {
+		if _, err := s.Fig16a(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		simd, _ := s.Bigdata("bfs", core.SIMD)
-		o3, _ := s.Bigdata("bfs", core.IntraO3)
+		simd, _ := s.Bigdata(context.Background(), "bfs", core.SIMD)
+		o3, _ := s.Bigdata(context.Background(), "bfs", core.IntraO3)
 		b.ReportMetric(o3.ThroughputMBps()/simd.ThroughputMBps(), "bfs-IntraO3/SIMD")
 	}
 }
@@ -238,7 +240,43 @@ func BenchmarkFig16aBigdata(b *testing.B) {
 func BenchmarkFig16bBigdataEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
-		if _, err := s.Fig16b(); err != nil {
+		if _, err := s.Fig16b(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- experiment engine (internal/runner) ----------------------------------
+
+// benchmarkSuitePrewarm fills a fresh Suite's cache for every cached
+// experiment cell with the given parallelism. Comparing the Sequential and
+// Parallel variants measures the runner layer's wall-clock speedup for a
+// full evaluation (on an N-core machine the parallel variant approaches
+// N× up to the longest single cell); the figure renders afterwards are
+// cache reads either way.
+func benchmarkSuitePrewarm(b *testing.B, workers int) {
+	jobs := experiments.CellsFor(experiments.CachedExperimentIDs)
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchScale)
+		s.Workers = workers
+		if err := s.Prewarm(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "cells")
+}
+
+func BenchmarkSuitePrewarmSequential(b *testing.B) { benchmarkSuitePrewarm(b, 1) }
+
+func BenchmarkSuitePrewarmParallel(b *testing.B) {
+	benchmarkSuitePrewarm(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkFig3SensitivityParallel measures the 48-cell Fig. 3 sweep
+// through the runner pool (its sequential baseline is Fig3bThroughput).
+func BenchmarkFig3SensitivityParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Sensitivity(context.Background(), benchScale, runtime.GOMAXPROCS(0)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,7 +308,7 @@ func runAblation(b *testing.B, mutate func(*Config)) *Result {
 			b.Fatal(err)
 		}
 	}
-	res, err := d.Run()
+	res, err := d.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -289,7 +327,7 @@ func BenchmarkAblationScreenCount(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				r, err := Run(IntraO3, bundle)
+				r, err := Run(context.Background(), IntraO3, bundle)
 				if err != nil {
 					b.Fatal(err)
 				}

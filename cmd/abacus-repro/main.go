@@ -3,107 +3,233 @@
 //
 // Usage:
 //
-//	abacus-repro [-scale N] [-experiment id]
+//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-list]
 //
 // scale divides the Table 2 input sizes (1 = paper scale; the default 16
-// finishes in well under a minute). Experiment ids: t1 t2 mixes fig3b fig3c
-// fig3d fig3e fig10a fig10b fig11a fig11b fig12 fig13a fig13b fig14a fig14b
-// fig15 fig16a fig16b, or "all".
+// finishes in well under a minute). jobs bounds how many independent device
+// simulations run concurrently (default: one per available core); because
+// results are keyed by experiment cell rather than completion order, the
+// printed output is byte-identical whatever the jobs count. -list prints
+// the experiment ids. A SIGINT/SIGTERM cancels the run cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
+
+// experiment couples an id with a renderer producing exactly the bytes the
+// experiment prints, so renders can run as runner jobs and still be
+// emitted in listing order.
+type experiment struct {
+	id     string
+	render func(ctx context.Context, s *experiments.Suite) (string, error)
+}
+
+// table adapts the common render-one-table case.
+func table(t *report.Table, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return t.String() + "\n", nil
+}
+
+// experimentList returns every experiment in the paper's presentation
+// order — the order -experiment all prints.
+func experimentList() []experiment {
+	return []experiment{
+		{"t1", func(context.Context, *experiments.Suite) (string, error) {
+			return table(experiments.Table1(), nil)
+		}},
+		{"t2", func(context.Context, *experiments.Suite) (string, error) {
+			return table(experiments.Table2(), nil)
+		}},
+		{"mixes", func(context.Context, *experiments.Suite) (string, error) {
+			return table(experiments.TableMixes(), nil)
+		}},
+		{"fig3b", func(ctx context.Context, s *experiments.Suite) (string, error) {
+			p, err := s.Fig3Points(ctx)
+			if err != nil {
+				return "", err
+			}
+			return table(experiments.Fig3bTable(p), nil)
+		}},
+		{"fig3c", func(ctx context.Context, s *experiments.Suite) (string, error) {
+			p, err := s.Fig3Points(ctx)
+			if err != nil {
+				return "", err
+			}
+			return table(experiments.Fig3cTable(p), nil)
+		}},
+		{"fig3d", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig3d(ctx)) }},
+		{"fig3e", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig3e(ctx)) }},
+		{"fig10a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig10a(ctx)) }},
+		{"fig10b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig10b(ctx)) }},
+		{"fig11a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig11a(ctx)) }},
+		{"fig11b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig11b(ctx)) }},
+		{"fig12", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig12(ctx)) }},
+		{"fig13a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig13a(ctx)) }},
+		{"fig13b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig13b(ctx)) }},
+		{"fig14a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig14a(ctx)) }},
+		{"fig14b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig14b(ctx)) }},
+		{"fig15", func(ctx context.Context, s *experiments.Suite) (string, error) {
+			res, err := s.Fig15(ctx)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for _, name := range []string{"SIMD", "IntraO3"} {
+				r := res[name]
+				stride := len(r.FUSeries)/24 + 1
+				fmt.Fprintln(&b, report.Series("Fig 15a: FU utilization, "+name,
+					int64(r.SeriesBin), r.FUSeries, stride))
+				fmt.Fprintln(&b, report.Series("Fig 15b: power (W), "+name,
+					int64(r.SeriesBin), r.PowerSeries, stride))
+			}
+			return b.String(), nil
+		}},
+		{"fig16a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16a(ctx)) }},
+		{"fig16b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16b(ctx)) }},
+	}
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range experimentList() {
+		out = append(out, e.id)
+	}
+	return out
+}
 
 func main() {
 	scale := flag.Int64("scale", 16, "divide Table 2 input sizes by this factor (1 = paper scale)")
-	exp := flag.String("experiment", "all", "experiment id or 'all'")
+	exp := flag.String("experiment", "all", "experiment id or 'all' (see -list)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent device simulations (1 = fully sequential)")
+	list := flag.Bool("list", false, "print the experiment ids and exit")
 	flag.Parse()
 
-	if err := run(*scale, *exp); err != nil {
+	if *list {
+		fmt.Println(strings.Join(ids(), "\n"))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *scale, *exp, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "abacus-repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale int64, exp string) error {
-	s := experiments.NewSuite(scale)
-	type job struct {
-		id string
-		fn func() error
+func run(ctx context.Context, scale int64, exp string, jobs int) error {
+	all := experimentList()
+	sel := all
+	if exp != "all" {
+		sel = nil
+		for _, e := range all {
+			if e.id == exp {
+				sel = []experiment{e}
+			}
+		}
+		if sel == nil {
+			return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(ids(), " "))
+		}
 	}
-	table := func(t *report.Table, err error) error {
+
+	s := experiments.NewSuite(scale)
+	s.Workers = jobs
+
+	// The leading simulation-free tables print immediately — a paper-scale
+	// cache fill below can run for minutes and t1/t2/mixes need no device
+	// runs to render.
+	simFree := map[string]bool{"t1": true, "t2": true, "mixes": true}
+	for len(sel) > 0 && simFree[sel[0].id] {
+		out, err := sel[0].render(ctx, s)
 		if err != nil {
+			return fmt.Errorf("%s: %w", sel[0].id, err)
+		}
+		fmt.Print(out)
+		sel = sel[1:]
+	}
+
+	// With parallelism, fill the shared result cache first: the cells of
+	// every selected experiment are independent simulations, so this is
+	// where the cores get used, and rendering afterwards is mostly cache
+	// reads. A failed cell does not stop the fill (its error stays cached
+	// and the owning experiment's render re-surfaces it under its id), so
+	// every table before the affected experiment still prints — the same
+	// stdout a sequential run leaves behind. At -jobs 1 the fill adds
+	// nothing: skip it and let the renders below simulate on demand,
+	// streaming each table as it completes, exactly like the original
+	// sequential harness.
+	if jobs != 1 {
+		var selIDs []string
+		for _, e := range sel {
+			selIDs = append(selIDs, e.id)
+		}
+		if err := s.Prewarm(ctx, experiments.CellsFor(selIDs)); err != nil && runner.IsCancellation(err) {
 			return err
 		}
-		fmt.Println(t)
-		return nil
-	}
-	jobs := []job{
-		{"t1", func() error { fmt.Println(experiments.Table1()); return nil }},
-		{"t2", func() error { fmt.Println(experiments.Table2()); return nil }},
-		{"mixes", func() error { fmt.Println(experiments.TableMixes()); return nil }},
-		{"fig3b", func() error {
-			p, err := experiments.Fig3Sensitivity(scale)
-			if err != nil {
-				return err
+		// The Fig. 3 sweep has its own worker pool; computing it here,
+		// while nothing else runs, keeps total simulation concurrency
+		// within -jobs instead of nesting that pool inside a render job.
+		for _, e := range sel {
+			if e.id == "fig3b" || e.id == "fig3c" {
+				if _, err := s.Fig3Points(ctx); err != nil && runner.IsCancellation(err) {
+					return err
+				}
+				break
 			}
-			fmt.Println(experiments.Fig3bTable(p))
-			return nil
-		}},
-		{"fig3c", func() error {
-			p, err := experiments.Fig3Sensitivity(scale)
-			if err != nil {
-				return err
+		}
+		// Fig. 15's series runs likewise warm here so the render phase
+		// below simulates nothing — then a failing render cannot cancel a
+		// lower-index render mid-simulation and shorten the printed prefix.
+		for _, e := range sel {
+			if e.id == "fig15" {
+				if _, err := s.Fig15(ctx); err != nil && runner.IsCancellation(err) {
+					return err
+				}
+				break
 			}
-			fmt.Println(experiments.Fig3cTable(p))
-			return nil
-		}},
-		{"fig3d", func() error { return table(s.Fig3d()) }},
-		{"fig3e", func() error { return table(s.Fig3e()) }},
-		{"fig10a", func() error { return table(s.Fig10a()) }},
-		{"fig10b", func() error { return table(s.Fig10b()) }},
-		{"fig11a", func() error { return table(s.Fig11a()) }},
-		{"fig11b", func() error { return table(s.Fig11b()) }},
-		{"fig12", func() error { return table(s.Fig12()) }},
-		{"fig13a", func() error { return table(s.Fig13a()) }},
-		{"fig13b", func() error { return table(s.Fig13b()) }},
-		{"fig14a", func() error { return table(s.Fig14a()) }},
-		{"fig14b", func() error { return table(s.Fig14b()) }},
-		{"fig15", func() error {
-			res, err := s.Fig15()
-			if err != nil {
-				return err
-			}
-			for _, name := range []string{"SIMD", "IntraO3"} {
-				r := res[name]
-				stride := len(r.FUSeries)/24 + 1
-				fmt.Println(report.Series("Fig 15a: FU utilization, "+name,
-					int64(r.SeriesBin), r.FUSeries, stride))
-				fmt.Println(report.Series("Fig 15b: power (W), "+name,
-					int64(r.SeriesBin), r.PowerSeries, stride))
-			}
-			return nil
-		}},
-		{"fig16a", func() error { return table(s.Fig16a()) }},
-		{"fig16b", func() error { return table(s.Fig16b()) }},
-	}
-	ran := false
-	for _, j := range jobs {
-		if exp == "all" || exp == j.id {
-			if err := j.fn(); err != nil {
-				return fmt.Errorf("%s: %w", j.id, err)
-			}
-			ran = true
 		}
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
-	return nil
+
+	// Render the experiments as runner jobs. Output is keyed by job index
+	// and each table prints as soon as every table before it is done, so
+	// the stream is byte-identical to a -jobs 1 run no matter which render
+	// finishes first — and a late failure still leaves the completed
+	// prefix on stdout.
+	var (
+		mu      sync.Mutex
+		outs    = make([]string, len(sel))
+		done    = make([]bool, len(sel))
+		printed int
+	)
+	return runner.New(jobs).Each(ctx, len(sel), func(ctx context.Context, i int) error {
+		out, err := sel[i].render(ctx, s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sel[i].id, err)
+		}
+		mu.Lock()
+		outs[i], done[i] = out, true
+		for printed < len(sel) && done[printed] {
+			fmt.Print(outs[printed])
+			outs[printed] = ""
+			printed++
+		}
+		mu.Unlock()
+		return nil
+	})
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,7 +64,7 @@ func run(sysName, wl string, scale int64, verbose bool) error {
 		return err
 	}
 
-	r, err := experiments.RunBundle(sys, b, false)
+	r, err := experiments.RunBundle(context.Background(), sys, b, false)
 	if err != nil {
 		return err
 	}

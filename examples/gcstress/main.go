@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 	if err := d.OffloadApp("stress", []*kdt.Table{writer(), writer(), writer(), writer()}); err != nil {
 		log.Fatal(err)
 	}
-	r, err := d.Run()
+	r, err := d.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

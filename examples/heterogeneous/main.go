@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := flashabacus.Run(sys, bundle)
+		r, err := flashabacus.Run(context.Background(), sys, bundle)
 		if err != nil {
 			log.Fatal(err)
 		}

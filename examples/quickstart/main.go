@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	result, err := flashabacus.Run(flashabacus.IntraO3, bundle)
+	result, err := flashabacus.Run(context.Background(), flashabacus.IntraO3, bundle)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,14 +14,19 @@
 // Quick start:
 //
 //	bundle, _ := flashabacus.Polybench("ATAX", 16)
-//	result, _ := flashabacus.Run(flashabacus.IntraO3, bundle)
+//	result, _ := flashabacus.Run(context.Background(), flashabacus.IntraO3, bundle)
 //	fmt.Println(result)
 //
-// The full evaluation (every table and figure) regenerates through
-// cmd/abacus-repro; bench_test.go exposes one benchmark per experiment.
+// Runs take a context.Context and abandon the simulation when it is
+// cancelled, so paper-scale sweeps can be aborted cleanly. The full
+// evaluation (every table and figure) regenerates through
+// cmd/abacus-repro — concurrently across cores via its -jobs flag —
+// and bench_test.go exposes one benchmark per experiment.
 package flashabacus
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kdt"
@@ -104,12 +109,13 @@ func BigdataNames() []string { return workload.BigdataNames() }
 const MixCount = workload.MixCount
 
 // Run executes a workload bundle on the named system with the default
-// configuration and returns its measurements.
-func Run(sys System, b *Bundle) (*Result, error) {
-	return experiments.RunBundle(sys, b, false)
+// configuration and returns its measurements. Cancelling ctx abandons
+// the simulation and returns the context's error.
+func Run(ctx context.Context, sys System, b *Bundle) (*Result, error) {
+	return experiments.RunBundle(ctx, sys, b, false)
 }
 
 // RunWithSeries additionally collects the Fig. 15 time series.
-func RunWithSeries(sys System, b *Bundle) (*Result, error) {
-	return experiments.RunBundle(sys, b, true)
+func RunWithSeries(ctx context.Context, sys System, b *Bundle) (*Result, error) {
+	return experiments.RunBundle(ctx, sys, b, true)
 }

@@ -1,13 +1,17 @@
 package flashabacus
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestQuickstartPath(t *testing.T) {
 	b, err := Polybench("ATAX", 128)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Run(IntraO3, b)
+	r, err := Run(context.Background(), IntraO3, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +26,7 @@ func TestAllSystemsRunMix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(sys, b); err != nil {
+		if _, err := Run(context.Background(), sys, b); err != nil {
 			t.Errorf("%v: %v", sys, err)
 		}
 	}
@@ -34,7 +38,7 @@ func TestBigdataFacade(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(InterDy, b); err != nil {
+		if _, err := Run(context.Background(), InterDy, b); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -42,12 +46,24 @@ func TestBigdataFacade(t *testing.T) {
 
 func TestSeriesFacade(t *testing.T) {
 	b, _ := Polybench("GEMM", 64)
-	r, err := RunWithSeries(IntraO3, b)
+	r, err := RunWithSeries(context.Background(), IntraO3, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r.FUSeries) == 0 {
 		t.Error("no series collected")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	b, err := Polybench("ATAX", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, IntraO3, b); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -227,7 +228,7 @@ func TestEveryAppThroughDevice(t *testing.T) {
 			if err := d.OffloadApp(name, []*kdt.Table{tab}); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := d.Run(); err != nil {
+			if _, err := d.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			got, err := d.Visor().ReadBytes(outAddr, outBytes)

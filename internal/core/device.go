@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/flash"
@@ -364,13 +365,25 @@ func (d *Device) fail(err error) {
 	d.storeng.Stop()
 }
 
+// cancelCheckEvery is how many simulation events Run processes between
+// context checks: frequent enough that cancellation lands within
+// microseconds of wall time, rare enough to stay off the event hot path.
+const cancelCheckEvery = 1024
+
 // Run executes every offloaded application to completion and returns the
-// measured result.
-func (d *Device) Run() (*stats.Result, error) {
+// measured result. Cancelling ctx abandons the simulation between events
+// and returns the context's error; the device is single-use either way.
+func (d *Device) Run(ctx context.Context) (*stats.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d.ran {
 		return nil, fmt.Errorf("core: device already ran")
 	}
 	d.ran = true
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(d.pending) == 0 {
 		return nil, fmt.Errorf("core: nothing offloaded")
 	}
@@ -384,7 +397,18 @@ func (d *Device) Run() (*stats.Result, error) {
 	if d.Cfg.System.IsFlashAbacus() {
 		d.storeng.Start()
 	}
-	d.eng.Run()
+	// The loop condition checks runErr first: once a simulation failure is
+	// recorded there is nothing left to observe, and draining the queue
+	// would let a concurrent cancellation mask the real, deterministic
+	// error below.
+	for i := uint64(1); d.runErr == nil && d.eng.Step(); i++ {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: %s run cancelled after %d events: %w",
+					d.Cfg.System, d.eng.Processed(), err)
+			}
+		}
+	}
 	if d.runErr != nil {
 		return nil, d.runErr
 	}

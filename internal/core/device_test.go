@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/kdt"
@@ -100,7 +101,7 @@ func TestSystemStrings(t *testing.T) {
 
 func TestRunRequiresOffload(t *testing.T) {
 	d := newDevice(t, IntraO3)
-	if _, err := d.Run(); err == nil {
+	if _, err := d.Run(context.Background()); err == nil {
 		t.Error("run with nothing offloaded succeeded")
 	}
 }
@@ -110,10 +111,10 @@ func TestRunTwiceFails(t *testing.T) {
 	if err := d.OffloadApp("a", []*kdt.Table{computeTable("k", 1e6, []int{1})}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Run(); err != nil {
+	if _, err := d.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Run(); err == nil {
+	if _, err := d.Run(context.Background()); err == nil {
 		t.Error("second run succeeded")
 	}
 	if err := d.OffloadApp("late", []*kdt.Table{computeTable("k", 1, []int{1})}); err == nil {
@@ -126,7 +127,7 @@ func TestComputeOnlyRun(t *testing.T) {
 	if err := d.OffloadApp("app", []*kdt.Table{computeTable("k", 1e8, []int{4, 1, 4})}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := d.Run()
+	r, err := d.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestParallelScreensBeatSerial(t *testing.T) {
 		if err := d.OffloadApp("a", []*kdt.Table{computeTable("k", per, shape)}); err != nil {
 			t.Fatal(err)
 		}
-		r, err := d.Run()
+		r, err := d.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestDataIntensiveSIMDSlowerThanFlashAbacus(t *testing.T) {
 		if err := d.OffloadApp("a", []*kdt.Table{tab}); err != nil {
 			t.Fatal(err)
 		}
-		r, err := d.Run()
+		r, err := d.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +206,7 @@ func TestSIMDEnergyDominatedByHostSide(t *testing.T) {
 	if err := d.OffloadApp("a", []*kdt.Table{ioTable("k", 0, inBytes, 16*units.GB, units.MB, 1e8, 4)}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := d.Run()
+	r, err := d.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,13 +233,13 @@ func TestInterDyBalancesBetterThanInterSt(t *testing.T) {
 	}
 	dSt := newDevice(t, InterSt)
 	apps(dSt)
-	rSt, err := dSt.Run()
+	rSt, err := dSt.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	dDy := newDevice(t, InterDy)
 	apps(dDy)
-	rDy, err := dDy.Run()
+	rDy, err := dDy.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestFunctionalEndToEnd(t *testing.T) {
 	if err := d.OffloadApp("fn", []*kdt.Table{tab}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Run(); err != nil {
+	if _, err := d.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := d.Visor().ReadBytes(outAddr, n)
@@ -322,7 +323,7 @@ func TestUnregisteredBuiltinFailsRun(t *testing.T) {
 	if err := d.OffloadApp("x", []*kdt.Table{tab}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Run(); err == nil {
+	if _, err := d.Run(context.Background()); err == nil {
 		t.Error("run with unregistered builtin succeeded")
 	}
 }
@@ -335,7 +336,7 @@ func TestSeriesCollection(t *testing.T) {
 	if err := d.OffloadApp("a", []*kdt.Table{ioTable("k", 0, 8*units.MB, 16*units.GB, units.MB, 1e8, 2)}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := d.Run()
+	r, err := d.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestOverlapAblation(t *testing.T) {
 		if err := d.OffloadApp("a", []*kdt.Table{ioTable("k", 0, 64*units.MB, 16*units.GB, units.MB, 2e8, 4)}); err != nil {
 			t.Fatal(err)
 		}
-		r, err := d.Run()
+		r, err := d.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -409,7 +410,7 @@ func TestGCInterferenceSlowsWrites(t *testing.T) {
 	if err := d.OffloadApp("w", []*kdt.Table{writer(), writer(), writer(), writer(), writer(), writer()}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := d.Run()
+	r, err := d.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

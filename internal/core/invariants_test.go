@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/kdt"
@@ -35,7 +36,7 @@ func runMix(t *testing.T, sys System, mutate func(*Config)) *releaseResult {
 			t.Fatal(err)
 		}
 	}
-	res, err := d.Run()
+	res, err := d.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestRunInvariantsAcrossSystems(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			r, err := d.Run()
+			r, err := d.Run(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +135,7 @@ func TestDeterminism(t *testing.T) {
 		for _, app := range b.Apps {
 			d.OffloadApp(app.Name, app.Tables)
 		}
-		r, err := d.Run()
+		r, err := d.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,28 +2,143 @@
 // paper's evaluation (§3.1 and §5). cmd/abacus-repro, bench_test.go, and
 // EXPERIMENTS.md all regenerate their numbers through these functions, so
 // every reported row has exactly one source.
+//
+// A Suite caches the (workload, system) device runs the figures share.
+// The cache is safe for concurrent use and single-flight: when figures
+// race for the same cell, exactly one simulation runs and the rest wait
+// for its result. Prewarm fills the cache through the internal/runner
+// worker pool, which is how cmd/abacus-repro parallelizes a full
+// reproduction across cores while keeping output byte-identical to a
+// sequential run.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/power"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
+// Kind selects which workload family a cached cell simulates.
+type Kind int
+
+const (
+	// KindHomogeneous is a Table 2 PolyBench application (six instances).
+	KindHomogeneous Kind = iota
+	// KindHeterogeneous is one of the MX1..MX14 application mixes.
+	KindHeterogeneous
+	// KindBigdata is a §5.6 graph/bigdata application.
+	KindBigdata
+)
+
+// Job names one cached device simulation: a workload cell (application or
+// mix) on one system. It is the Suite's cache key and the unit of work
+// Prewarm hands to the runner pool.
+type Job struct {
+	Kind Kind
+	Name string // application name (KindHomogeneous, KindBigdata)
+	Mix  int    // mix number (KindHeterogeneous)
+	Sys  core.System
+}
+
+func (j Job) String() string {
+	switch j.Kind {
+	case KindHeterogeneous:
+		return fmt.Sprintf("MX%d/%s", j.Mix, j.Sys)
+	default:
+		return fmt.Sprintf("%s/%s", j.Name, j.Sys)
+	}
+}
+
+// bundle builds the job's workload at the suite's scale.
+func (j Job) bundle(o workload.Options) (*workload.Bundle, error) {
+	switch j.Kind {
+	case KindHomogeneous, KindBigdata:
+		return workload.Homogeneous(j.Name, o)
+	case KindHeterogeneous:
+		return workload.Mix(j.Mix, o)
+	}
+	return nil, fmt.Errorf("experiments: unknown job kind %d", j.Kind)
+}
+
+// flight is one single-flight cache slot: the first requester computes,
+// everyone else waits on ready.
+type flight[T any] struct {
+	ready chan struct{}
+	val   T
+	err   error
+}
+
+// await implements the single-flight protocol shared by the cell cache and
+// the Fig. 3 sweep. get/set run under mu (set(nil) evicts); compute runs
+// outside the lock. A flight that failed only because its starter's
+// context was cancelled is evicted, and waiters with live contexts take
+// another lap and compute it themselves rather than inheriting a
+// cancellation they never asked for.
+func await[T any](ctx context.Context, mu *sync.Mutex,
+	get func() *flight[T], set func(*flight[T]),
+	compute func(context.Context) (T, error)) (T, error) {
+	for {
+		mu.Lock()
+		f := get()
+		if f == nil {
+			f = &flight[T]{ready: make(chan struct{})}
+			set(f)
+			mu.Unlock()
+			f.val, f.err = compute(ctx)
+			if f.err != nil && runner.IsCancellation(f.err) {
+				// Evict before close so retrying waiters find the slot empty.
+				mu.Lock()
+				set(nil)
+				mu.Unlock()
+			}
+			close(f.ready)
+			return f.val, f.err
+		}
+		mu.Unlock()
+		// Prefer a finished flight over noticing our own cancellation:
+		// when both channels are ready the cached result must win, or a
+		// cancelled parallel run would drop tables a sequential run had
+		// already printed.
+		select {
+		case <-f.ready:
+		default:
+			select {
+			case <-f.ready:
+			case <-ctx.Done():
+				var zero T
+				return zero, ctx.Err()
+			}
+		}
+		if f.err != nil && runner.IsCancellation(f.err) && ctx.Err() == nil {
+			continue // starter was cancelled, not us: recompute
+		}
+		return f.val, f.err
+	}
+}
+
 // Suite runs and caches the evaluation's device runs at one scale. Scale
 // divides the Table 2 input sizes: 1 reproduces paper-scale data volumes,
 // larger values shrink runs for tests and benches.
+//
+// Methods may be called from many goroutines; each distinct cell is
+// simulated exactly once. Workers bounds how many simulations Prewarm and
+// the Fig. 3 sweep run concurrently (0 means runtime.GOMAXPROCS(0)).
 type Suite struct {
-	Scale int64
+	Scale   int64
+	Workers int
 
-	homog map[string]map[core.System]*stats.Result
-	het   map[int]map[core.System]*stats.Result
-	big   map[string]map[core.System]*stats.Result
+	mu    sync.Mutex
+	cells map[Job]*flight[*stats.Result]
+	fig3  *flight[[]Fig3Point]
+	fig15 *flight[map[string]*stats.Result]
 }
 
 // NewSuite returns an empty suite at the given scale.
@@ -31,12 +146,7 @@ func NewSuite(scale int64) *Suite {
 	if scale < 1 {
 		scale = 1
 	}
-	return &Suite{
-		Scale: scale,
-		homog: map[string]map[core.System]*stats.Result{},
-		het:   map[int]map[core.System]*stats.Result{},
-		big:   map[string]map[core.System]*stats.Result{},
-	}
+	return &Suite{Scale: scale, cells: map[Job]*flight[*stats.Result]{}}
 }
 
 func (s *Suite) opts() workload.Options {
@@ -46,7 +156,8 @@ func (s *Suite) opts() workload.Options {
 }
 
 // RunBundle executes a workload bundle on one system configuration.
-func RunBundle(sys core.System, b *workload.Bundle, series bool) (*stats.Result, error) {
+// Cancelling ctx abandons the simulation.
+func RunBundle(ctx context.Context, sys core.System, b *workload.Bundle, series bool) (*stats.Result, error) {
 	cfg := core.DefaultConfig(sys)
 	cfg.CollectSeries = series
 	d, err := core.New(cfg)
@@ -63,7 +174,7 @@ func RunBundle(sys core.System, b *workload.Bundle, series bool) (*stats.Result,
 			return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, sys, err)
 		}
 	}
-	res, err := d.Run()
+	res, err := d.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", b.Name, sys, err)
 	}
@@ -71,65 +182,131 @@ func RunBundle(sys core.System, b *workload.Bundle, series bool) (*stats.Result,
 	return res, nil
 }
 
+// Run returns job j's result, simulating it on first request. Concurrent
+// requests for the same cell share one simulation. A run that fails only
+// because its context was cancelled is evicted, so a later call with a
+// live context retries instead of replaying the stale cancellation.
+func (s *Suite) Run(ctx context.Context, j Job) (*stats.Result, error) {
+	return await(ctx, &s.mu,
+		func() *flight[*stats.Result] { return s.cells[j] },
+		func(f *flight[*stats.Result]) {
+			if f == nil {
+				delete(s.cells, j)
+			} else {
+				s.cells[j] = f
+			}
+		},
+		func(ctx context.Context) (*stats.Result, error) { return s.simulate(ctx, j) })
+}
+
+func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
+	b, err := j.bundle(s.opts())
+	if err != nil {
+		return nil, err
+	}
+	return RunBundle(ctx, j.Sys, b, false)
+}
+
+// Prewarm fills the cache for every listed job through the runner pool,
+// at most s.Workers simulations at a time. Jobs already cached (or
+// duplicated in the list) cost nothing extra. A failing job does not stop
+// the fill — the remaining cells still warm (and the failure stays cached
+// for whoever reads that cell) — but cancelling ctx does. The
+// lowest-indexed failure is returned.
+func (s *Suite) Prewarm(ctx context.Context, jobs []Job) error {
+	p := runner.New(s.Workers)
+	return p.EachAll(ctx, len(jobs), func(ctx context.Context, i int) error {
+		_, err := s.Run(ctx, jobs[i])
+		return err
+	})
+}
+
 // Homogeneous returns (running and caching) the result for one Table 2
 // application on one system.
-func (s *Suite) Homogeneous(name string, sys core.System) (*stats.Result, error) {
-	if m := s.homog[name]; m != nil && m[sys] != nil {
-		return m[sys], nil
-	}
-	b, err := workload.Homogeneous(name, s.opts())
-	if err != nil {
-		return nil, err
-	}
-	res, err := RunBundle(sys, b, false)
-	if err != nil {
-		return nil, err
-	}
-	if s.homog[name] == nil {
-		s.homog[name] = map[core.System]*stats.Result{}
-	}
-	s.homog[name][sys] = res
-	return res, nil
+func (s *Suite) Homogeneous(ctx context.Context, name string, sys core.System) (*stats.Result, error) {
+	return s.Run(ctx, Job{Kind: KindHomogeneous, Name: name, Sys: sys})
 }
 
 // Heterogeneous returns the cached result for mix MXn on one system.
-func (s *Suite) Heterogeneous(n int, sys core.System) (*stats.Result, error) {
-	if m := s.het[n]; m != nil && m[sys] != nil {
-		return m[sys], nil
-	}
-	b, err := workload.Mix(n, s.opts())
-	if err != nil {
-		return nil, err
-	}
-	res, err := RunBundle(sys, b, false)
-	if err != nil {
-		return nil, err
-	}
-	if s.het[n] == nil {
-		s.het[n] = map[core.System]*stats.Result{}
-	}
-	s.het[n][sys] = res
-	return res, nil
+func (s *Suite) Heterogeneous(ctx context.Context, n int, sys core.System) (*stats.Result, error) {
+	return s.Run(ctx, Job{Kind: KindHeterogeneous, Mix: n, Sys: sys})
 }
 
 // Bigdata returns the cached result for a §5.6 application on one system.
-func (s *Suite) Bigdata(name string, sys core.System) (*stats.Result, error) {
-	if m := s.big[name]; m != nil && m[sys] != nil {
-		return m[sys], nil
+func (s *Suite) Bigdata(ctx context.Context, name string, sys core.System) (*stats.Result, error) {
+	return s.Run(ctx, Job{Kind: KindBigdata, Name: name, Sys: sys})
+}
+
+// CachedExperimentIDs lists the abacus-repro experiment ids whose device
+// runs flow through the Suite cache — the ones Cells enumerates jobs for.
+var CachedExperimentIDs = []string{
+	"fig3d", "fig3e", "fig10a", "fig10b", "fig11a", "fig11b",
+	"fig12", "fig13a", "fig13b", "fig14a", "fig14b", "fig16a", "fig16b",
+}
+
+// Cells enumerates the cached device runs one experiment needs, in the
+// order the experiment consumes them. Experiments that do not use the
+// cache (t1, t2, mixes, fig3b, fig3c, fig15) return nil.
+func Cells(id string) []Job {
+	homogAll := func(names []string, kind Kind) []Job {
+		var out []Job
+		for _, name := range names {
+			for _, sys := range core.Systems {
+				out = append(out, Job{Kind: kind, Name: name, Sys: sys})
+			}
+		}
+		return out
 	}
-	b, err := workload.Homogeneous(name, s.opts())
-	if err != nil {
-		return nil, err
+	hetAll := func() []Job {
+		var out []Job
+		for n := 1; n <= workload.MixCount; n++ {
+			for _, sys := range core.Systems {
+				out = append(out, Job{Kind: KindHeterogeneous, Mix: n, Sys: sys})
+			}
+		}
+		return out
 	}
-	res, err := RunBundle(sys, b, false)
-	if err != nil {
-		return nil, err
+	switch id {
+	case "fig3d", "fig3e":
+		var out []Job
+		for _, name := range Fig3Apps {
+			out = append(out, Job{Kind: KindHomogeneous, Name: name, Sys: core.SIMD})
+		}
+		return out
+	case "fig10a", "fig11a", "fig13a", "fig14a":
+		return homogAll(workload.Names(), KindHomogeneous)
+	case "fig10b", "fig11b", "fig13b", "fig14b":
+		return hetAll()
+	case "fig12":
+		var out []Job
+		for _, sys := range core.Systems {
+			out = append(out, Job{Kind: KindHomogeneous, Name: "ATAX", Sys: sys})
+		}
+		for _, sys := range core.Systems {
+			out = append(out, Job{Kind: KindHeterogeneous, Mix: 1, Sys: sys})
+		}
+		return out
+	case "fig16a", "fig16b":
+		return homogAll(workload.BigdataNames(), KindBigdata)
 	}
-	if s.big[name] == nil {
-		s.big[name] = map[core.System]*stats.Result{}
+	return nil
+}
+
+// CellsFor enumerates the union of cells the listed experiments need,
+// deduplicated, preserving first-appearance order — a deterministic job
+// list for Prewarm.
+func CellsFor(ids []string) []Job {
+	seen := map[Job]bool{}
+	var out []Job
+	for _, id := range ids {
+		for _, j := range Cells(id) {
+			if !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
 	}
-	s.big[name][sys] = res
-	return res, nil
+	return out
 }
 
 // Table1 renders the hardware specification (Table 1).
@@ -189,41 +366,60 @@ type Fig3Point struct {
 }
 
 // Fig3Sensitivity sweeps cores 1–8 × serial ratio 0–50% on the
-// conventional system (Fig. 3b and 3c share these runs).
-func Fig3Sensitivity(scale int64) ([]Fig3Point, error) {
-	var out []Fig3Point
+// conventional system (Fig. 3b and 3c share these runs). The 48 cells are
+// independent simulations, so they run through a pool of at most workers
+// goroutines (0 means GOMAXPROCS); the returned points are ordered by
+// (cores, ratio) regardless of completion order.
+func Fig3Sensitivity(ctx context.Context, scale int64, workers int) ([]Fig3Point, error) {
+	type sweep struct{ cores, pct int }
+	var cells []sweep
 	for cores := 1; cores <= 8; cores++ {
 		for _, pct := range SerialRatios {
-			o := workload.DefaultOptions()
-			o.Scale = scale
-			b, nominal, err := workload.Sensitivity(pct, cores, o)
-			if err != nil {
-				return nil, err
-			}
-			cfg := core.DefaultConfig(core.SIMD)
-			cfg.Workers = cores
-			d, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			for _, app := range b.Apps {
-				if err := d.OffloadApp(app.Name, app.Tables); err != nil {
-					return nil, err
-				}
-			}
-			res, err := d.Run()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig3Point{
-				Cores:      cores,
-				SerialPct:  pct,
-				Throughput: float64(nominal) / units.Seconds(res.Makespan) / 1e9,
-				Util:       res.WorkerUtil,
-			})
+			cells = append(cells, sweep{cores, pct})
 		}
 	}
-	return out, nil
+	pool := runner.New(workers)
+	return runner.Collect(ctx, pool, len(cells), func(ctx context.Context, i int) (Fig3Point, error) {
+		cores, pct := cells[i].cores, cells[i].pct
+		o := workload.DefaultOptions()
+		o.Scale = scale
+		b, nominal, err := workload.Sensitivity(pct, cores, o)
+		if err != nil {
+			return Fig3Point{}, err
+		}
+		cfg := core.DefaultConfig(core.SIMD)
+		cfg.Workers = cores
+		d, err := core.New(cfg)
+		if err != nil {
+			return Fig3Point{}, err
+		}
+		for _, app := range b.Apps {
+			if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+				return Fig3Point{}, err
+			}
+		}
+		res, err := d.Run(ctx)
+		if err != nil {
+			return Fig3Point{}, err
+		}
+		return Fig3Point{
+			Cores:      cores,
+			SerialPct:  pct,
+			Throughput: float64(nominal) / units.Seconds(res.Makespan) / 1e9,
+			Util:       res.WorkerUtil,
+		}, nil
+	})
+}
+
+// Fig3Points returns the suite-cached sensitivity sweep, computing it on
+// first request: Fig. 3b and 3c (and racing callers) share one sweep.
+func (s *Suite) Fig3Points(ctx context.Context) ([]Fig3Point, error) {
+	return await(ctx, &s.mu,
+		func() *flight[[]Fig3Point] { return s.fig3 },
+		func(f *flight[[]Fig3Point]) { s.fig3 = f },
+		func(ctx context.Context) ([]Fig3Point, error) {
+			return Fig3Sensitivity(ctx, s.Scale, s.Workers)
+		})
 }
 
 // Fig3bTable renders throughput vs cores.
@@ -263,11 +459,11 @@ func fig3Table(points []Fig3Point, title string, val func(Fig3Point) float64) *r
 var Fig3Apps = []string{"ATAX", "BICG", "2DCON", "MVT", "SYRK", "3MM", "GESUM", "ADI", "COVAR", "FDTD"}
 
 // Fig3d renders the SIMD-system execution-time decomposition.
-func (s *Suite) Fig3d() (*report.Table, error) {
+func (s *Suite) Fig3d(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{Title: "Fig 3d: execution time breakdown (SIMD system)",
 		Header: []string{"app", "accelerator", "SSD", "host storage stack"}}
 	for _, name := range Fig3Apps {
-		r, err := s.Homogeneous(name, core.SIMD)
+		r, err := s.Homogeneous(ctx, name, core.SIMD)
 		if err != nil {
 			return nil, err
 		}
@@ -278,11 +474,11 @@ func (s *Suite) Fig3d() (*report.Table, error) {
 }
 
 // Fig3e renders the SIMD-system energy decomposition.
-func (s *Suite) Fig3e() (*report.Table, error) {
+func (s *Suite) Fig3e(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{Title: "Fig 3e: energy breakdown (SIMD system)",
 		Header: []string{"app", "accelerator", "SSD+stack (storage)", "data movement"}}
 	for _, name := range Fig3Apps {
-		r, err := s.Homogeneous(name, core.SIMD)
+		r, err := s.Homogeneous(ctx, name, core.SIMD)
 		if err != nil {
 			return nil, err
 		}
@@ -292,13 +488,13 @@ func (s *Suite) Fig3e() (*report.Table, error) {
 }
 
 // Fig10a renders homogeneous throughput for all five systems.
-func (s *Suite) Fig10a() (*report.Table, error) {
+func (s *Suite) Fig10a(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{Title: "Fig 10a: homogeneous throughput (MB/s)",
 		Header: append([]string{"app"}, systemNames()...)}
 	for _, name := range workload.Names() {
 		row := []interface{}{name}
 		for _, sys := range core.Systems {
-			r, err := s.Homogeneous(name, sys)
+			r, err := s.Homogeneous(ctx, name, sys)
 			if err != nil {
 				return nil, err
 			}
@@ -310,13 +506,13 @@ func (s *Suite) Fig10a() (*report.Table, error) {
 }
 
 // Fig10b renders heterogeneous throughput for all five systems.
-func (s *Suite) Fig10b() (*report.Table, error) {
+func (s *Suite) Fig10b(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{Title: "Fig 10b: heterogeneous throughput (MB/s)",
 		Header: append([]string{"mix"}, systemNames()...)}
 	for n := 1; n <= workload.MixCount; n++ {
 		row := []interface{}{fmt.Sprintf("MX%d", n)}
 		for _, sys := range core.Systems {
-			r, err := s.Heterogeneous(n, sys)
+			r, err := s.Heterogeneous(ctx, n, sys)
 			if err != nil {
 				return nil, err
 			}
@@ -357,38 +553,54 @@ func norm(v, base units.Duration) string {
 	return fmt.Sprintf("%.2f", float64(v)/float64(base))
 }
 
-// Fig11a renders homogeneous latency normalized to SIMD.
-func (s *Suite) Fig11a() (*report.Table, error) {
-	return s.latTable("Fig 11a: homogeneous latency (normalized to SIMD)", workload.Names(), s.Homogeneous)
-}
-
-// Fig11b renders heterogeneous latency normalized to SIMD.
-func (s *Suite) Fig11b() (*report.Table, error) {
+// mixNames returns "MX1".."MX14" for the heterogeneous figure rows.
+func mixNames() []string {
 	names := make([]string, workload.MixCount)
 	for i := range names {
 		names[i] = fmt.Sprintf("MX%d", i+1)
 	}
-	return s.latTable("Fig 11b: heterogeneous latency (normalized to SIMD)", names,
-		func(name string, sys core.System) (*stats.Result, error) {
-			var n int
-			fmt.Sscanf(name, "MX%d", &n)
-			return s.Heterogeneous(n, sys)
-		})
+	return names
+}
+
+// getHomog adapts Homogeneous to the by-name getters the shared table
+// renderers take; getHet does the same for the MXn rows.
+func (s *Suite) getHomog(ctx context.Context) func(string, core.System) (*stats.Result, error) {
+	return func(name string, sys core.System) (*stats.Result, error) {
+		return s.Homogeneous(ctx, name, sys)
+	}
+}
+
+func (s *Suite) getHet(ctx context.Context) func(string, core.System) (*stats.Result, error) {
+	return func(name string, sys core.System) (*stats.Result, error) {
+		var n int
+		fmt.Sscanf(name, "MX%d", &n)
+		return s.Heterogeneous(ctx, n, sys)
+	}
+}
+
+// Fig11a renders homogeneous latency normalized to SIMD.
+func (s *Suite) Fig11a(ctx context.Context) (*report.Table, error) {
+	return s.latTable("Fig 11a: homogeneous latency (normalized to SIMD)", workload.Names(), s.getHomog(ctx))
+}
+
+// Fig11b renders heterogeneous latency normalized to SIMD.
+func (s *Suite) Fig11b(ctx context.Context) (*report.Table, error) {
+	return s.latTable("Fig 11b: heterogeneous latency (normalized to SIMD)", mixNames(), s.getHet(ctx))
 }
 
 // Fig12 renders the kernel-completion CDFs for ATAX and MX1.
-func (s *Suite) Fig12() (*report.Table, error) {
+func (s *Suite) Fig12(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{Title: "Fig 12: kernel completion CDF (ATAX and MX1)",
 		Header: []string{"workload", "system", "completions (time ms : count)"}}
 	for _, sys := range core.Systems {
-		r, err := s.Homogeneous("ATAX", sys)
+		r, err := s.Homogeneous(ctx, "ATAX", sys)
 		if err != nil {
 			return nil, err
 		}
 		t.Add("ATAX", sys.String(), cdfString(r))
 	}
 	for _, sys := range core.Systems {
-		r, err := s.Heterogeneous(1, sys)
+		r, err := s.Heterogeneous(ctx, 1, sys)
 		if err != nil {
 			return nil, err
 		}
@@ -430,22 +642,13 @@ func (s *Suite) energyTable(title string, names []string,
 }
 
 // Fig13a renders homogeneous energy decomposition.
-func (s *Suite) Fig13a() (*report.Table, error) {
-	return s.energyTable("Fig 13a: homogeneous energy (normalized to SIMD)", workload.Names(), s.Homogeneous)
+func (s *Suite) Fig13a(ctx context.Context) (*report.Table, error) {
+	return s.energyTable("Fig 13a: homogeneous energy (normalized to SIMD)", workload.Names(), s.getHomog(ctx))
 }
 
 // Fig13b renders heterogeneous energy decomposition.
-func (s *Suite) Fig13b() (*report.Table, error) {
-	names := make([]string, workload.MixCount)
-	for i := range names {
-		names[i] = fmt.Sprintf("MX%d", i+1)
-	}
-	return s.energyTable("Fig 13b: heterogeneous energy (normalized to SIMD)", names,
-		func(name string, sys core.System) (*stats.Result, error) {
-			var n int
-			fmt.Sscanf(name, "MX%d", &n)
-			return s.Heterogeneous(n, sys)
-		})
+func (s *Suite) Fig13b(ctx context.Context) (*report.Table, error) {
+	return s.energyTable("Fig 13b: heterogeneous energy (normalized to SIMD)", mixNames(), s.getHet(ctx))
 }
 
 // utilTable renders Fig. 14's processor utilizations.
@@ -467,50 +670,53 @@ func (s *Suite) utilTable(title string, names []string,
 }
 
 // Fig14a renders homogeneous LWP utilization.
-func (s *Suite) Fig14a() (*report.Table, error) {
-	return s.utilTable("Fig 14a: homogeneous LWP utilization (%)", workload.Names(), s.Homogeneous)
+func (s *Suite) Fig14a(ctx context.Context) (*report.Table, error) {
+	return s.utilTable("Fig 14a: homogeneous LWP utilization (%)", workload.Names(), s.getHomog(ctx))
 }
 
 // Fig14b renders heterogeneous LWP utilization.
-func (s *Suite) Fig14b() (*report.Table, error) {
-	names := make([]string, workload.MixCount)
-	for i := range names {
-		names[i] = fmt.Sprintf("MX%d", i+1)
-	}
-	return s.utilTable("Fig 14b: heterogeneous LWP utilization (%)", names,
-		func(name string, sys core.System) (*stats.Result, error) {
-			var n int
-			fmt.Sscanf(name, "MX%d", &n)
-			return s.Heterogeneous(n, sys)
-		})
+func (s *Suite) Fig14b(ctx context.Context) (*report.Table, error) {
+	return s.utilTable("Fig 14b: heterogeneous LWP utilization (%)", mixNames(), s.getHet(ctx))
 }
 
 // Fig15 runs MX1 with time-series collection on SIMD and IntraO3 and
-// returns the FU-utilization and power traces.
-func (s *Suite) Fig15() (map[string]*stats.Result, error) {
-	out := map[string]*stats.Result{}
-	for _, sys := range []core.System{core.SIMD, core.IntraO3} {
-		b, err := workload.Mix(1, s.opts())
-		if err != nil {
-			return nil, err
-		}
-		r, err := RunBundle(sys, b, true)
-		if err != nil {
-			return nil, err
-		}
-		out[sys.String()] = r
-	}
-	return out, nil
+// returns the FU-utilization and power traces. The two series runs are
+// single-flight cached like every other cell, so racing callers share
+// one computation and a prewarmed suite renders this figure without
+// simulating.
+func (s *Suite) Fig15(ctx context.Context) (map[string]*stats.Result, error) {
+	return await(ctx, &s.mu,
+		func() *flight[map[string]*stats.Result] { return s.fig15 },
+		func(f *flight[map[string]*stats.Result]) { s.fig15 = f },
+		func(ctx context.Context) (map[string]*stats.Result, error) {
+			systems := []core.System{core.SIMD, core.IntraO3}
+			results, err := runner.Collect(ctx, runner.New(s.Workers), len(systems),
+				func(ctx context.Context, i int) (*stats.Result, error) {
+					b, err := workload.Mix(1, s.opts())
+					if err != nil {
+						return nil, err
+					}
+					return RunBundle(ctx, systems[i], b, true)
+				})
+			if err != nil {
+				return nil, err
+			}
+			out := map[string]*stats.Result{}
+			for i, sys := range systems {
+				out[sys.String()] = results[i]
+			}
+			return out, nil
+		})
 }
 
 // Fig16a renders graph/bigdata throughput.
-func (s *Suite) Fig16a() (*report.Table, error) {
+func (s *Suite) Fig16a(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{Title: "Fig 16a: graph/bigdata throughput (MB/s)",
 		Header: append([]string{"app"}, systemNames()...)}
 	for _, name := range workload.BigdataNames() {
 		row := []interface{}{name}
 		for _, sys := range core.Systems {
-			r, err := s.Bigdata(name, sys)
+			r, err := s.Bigdata(ctx, name, sys)
 			if err != nil {
 				return nil, err
 			}
@@ -522,9 +728,12 @@ func (s *Suite) Fig16a() (*report.Table, error) {
 }
 
 // Fig16b renders graph/bigdata energy decomposition normalized to SIMD.
-func (s *Suite) Fig16b() (*report.Table, error) {
+func (s *Suite) Fig16b(ctx context.Context) (*report.Table, error) {
 	return s.energyTable("Fig 16b: graph/bigdata energy (normalized to SIMD)",
-		workload.BigdataNames(), s.Bigdata)
+		workload.BigdataNames(),
+		func(name string, sys core.System) (*stats.Result, error) {
+			return s.Bigdata(ctx, name, sys)
+		})
 }
 
 func systemNames() []string {

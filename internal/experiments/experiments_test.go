@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestTable1AndTable2Render(t *testing.T) {
 }
 
 func TestFig3SensitivityShape(t *testing.T) {
-	points, err := Fig3Sensitivity(16)
+	points, err := Fig3Sensitivity(context.Background(), 16, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,12 +71,12 @@ func TestFig3SensitivityShape(t *testing.T) {
 func TestHomogeneousHeadlineShapes(t *testing.T) {
 	s := NewSuite(testScale)
 	// Data-intensive ATAX: every FlashAbacus mode beats SIMD.
-	simd, err := s.Homogeneous("ATAX", core.SIMD)
+	simd, err := s.Homogeneous(context.Background(), "ATAX", core.SIMD)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, sys := range core.FlashAbacusSystems {
-		r, err := s.Homogeneous("ATAX", sys)
+		r, err := s.Homogeneous(context.Background(), "ATAX", sys)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,14 +86,14 @@ func TestHomogeneousHeadlineShapes(t *testing.T) {
 		}
 	}
 	// InterDy well above InterSt on homogeneous work (Fig. 10a).
-	st, _ := s.Homogeneous("ATAX", core.InterSt)
-	dy, _ := s.Homogeneous("ATAX", core.InterDy)
+	st, _ := s.Homogeneous(context.Background(), "ATAX", core.InterSt)
+	dy, _ := s.Homogeneous(context.Background(), "ATAX", core.InterDy)
 	if dy.ThroughputMBps() < 1.4*st.ThroughputMBps() {
 		t.Errorf("InterDy %.1f not well above InterSt %.1f",
 			dy.ThroughputMBps(), st.ThroughputMBps())
 	}
 	// IntraO3 within a modest margin of InterDy (paper: ~2%).
-	o3, _ := s.Homogeneous("ATAX", core.IntraO3)
+	o3, _ := s.Homogeneous(context.Background(), "ATAX", core.IntraO3)
 	if o3.ThroughputMBps() < 0.75*dy.ThroughputMBps() {
 		t.Errorf("IntraO3 %.1f too far below InterDy %.1f",
 			o3.ThroughputMBps(), dy.ThroughputMBps())
@@ -101,11 +102,11 @@ func TestHomogeneousHeadlineShapes(t *testing.T) {
 
 func TestEnergyHeadline(t *testing.T) {
 	s := NewSuite(testScale)
-	simd, err := s.Homogeneous("ATAX", core.SIMD)
+	simd, err := s.Homogeneous(context.Background(), "ATAX", core.SIMD)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o3, err := s.Homogeneous("ATAX", core.IntraO3)
+	o3, err := s.Homogeneous(context.Background(), "ATAX", core.IntraO3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,15 +118,15 @@ func TestEnergyHeadline(t *testing.T) {
 
 func TestHeterogeneousShapes(t *testing.T) {
 	s := NewSuite(testScale)
-	simd, err := s.Heterogeneous(1, core.SIMD)
+	simd, err := s.Heterogeneous(context.Background(), 1, core.SIMD)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o3, err := s.Heterogeneous(1, core.IntraO3)
+	o3, err := s.Heterogeneous(context.Background(), 1, core.IntraO3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dy, err := s.Heterogeneous(1, core.InterDy)
+	dy, err := s.Heterogeneous(context.Background(), 1, core.InterDy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestHeterogeneousShapes(t *testing.T) {
 
 func TestFig15SeriesProduced(t *testing.T) {
 	s := NewSuite(testScale * 2)
-	res, err := s.Fig15()
+	res, err := s.Fig15(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestFig15SeriesProduced(t *testing.T) {
 
 func TestFig16Bigdata(t *testing.T) {
 	s := NewSuite(testScale)
-	tbl, err := s.Fig16a()
+	tbl, err := s.Fig16a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,8 +182,8 @@ func TestFig16Bigdata(t *testing.T) {
 		}
 	}
 	// FlashAbacus dynamic modes beat SIMD on these data-intensive apps.
-	simd, _ := s.Bigdata("bfs", core.SIMD)
-	dy, _ := s.Bigdata("bfs", core.InterDy)
+	simd, _ := s.Bigdata(context.Background(), "bfs", core.SIMD)
+	dy, _ := s.Bigdata(context.Background(), "bfs", core.InterDy)
 	if dy.ThroughputMBps() <= simd.ThroughputMBps() {
 		t.Error("InterDy not above SIMD on bfs")
 	}
@@ -195,19 +196,19 @@ func TestAllFigureTablesRender(t *testing.T) {
 	s := NewSuite(testScale * 2)
 	type gen func() (interface{ String() string }, error)
 	figs := map[string]gen{
-		"3d":  func() (interface{ String() string }, error) { return s.Fig3d() },
-		"3e":  func() (interface{ String() string }, error) { return s.Fig3e() },
-		"10a": func() (interface{ String() string }, error) { return s.Fig10a() },
-		"10b": func() (interface{ String() string }, error) { return s.Fig10b() },
-		"11a": func() (interface{ String() string }, error) { return s.Fig11a() },
-		"11b": func() (interface{ String() string }, error) { return s.Fig11b() },
-		"12":  func() (interface{ String() string }, error) { return s.Fig12() },
-		"13a": func() (interface{ String() string }, error) { return s.Fig13a() },
-		"13b": func() (interface{ String() string }, error) { return s.Fig13b() },
-		"14a": func() (interface{ String() string }, error) { return s.Fig14a() },
-		"14b": func() (interface{ String() string }, error) { return s.Fig14b() },
-		"16a": func() (interface{ String() string }, error) { return s.Fig16a() },
-		"16b": func() (interface{ String() string }, error) { return s.Fig16b() },
+		"3d":  func() (interface{ String() string }, error) { return s.Fig3d(context.Background()) },
+		"3e":  func() (interface{ String() string }, error) { return s.Fig3e(context.Background()) },
+		"10a": func() (interface{ String() string }, error) { return s.Fig10a(context.Background()) },
+		"10b": func() (interface{ String() string }, error) { return s.Fig10b(context.Background()) },
+		"11a": func() (interface{ String() string }, error) { return s.Fig11a(context.Background()) },
+		"11b": func() (interface{ String() string }, error) { return s.Fig11b(context.Background()) },
+		"12":  func() (interface{ String() string }, error) { return s.Fig12(context.Background()) },
+		"13a": func() (interface{ String() string }, error) { return s.Fig13a(context.Background()) },
+		"13b": func() (interface{ String() string }, error) { return s.Fig13b(context.Background()) },
+		"14a": func() (interface{ String() string }, error) { return s.Fig14a(context.Background()) },
+		"14b": func() (interface{ String() string }, error) { return s.Fig14b(context.Background()) },
+		"16a": func() (interface{ String() string }, error) { return s.Fig16a(context.Background()) },
+		"16b": func() (interface{ String() string }, error) { return s.Fig16b(context.Background()) },
 	}
 	for name, fn := range figs {
 		tbl, err := fn()

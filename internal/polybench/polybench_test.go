@@ -1,6 +1,7 @@
 package polybench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -313,7 +314,7 @@ func TestEveryKernelThroughDevice(t *testing.T) {
 			if err := d.OffloadApp(name, []*kdt.Table{tab}); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := d.Run(); err != nil {
+			if _, err := d.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			got, err := d.Visor().ReadBytes(outAddr, outBytes)
@@ -353,7 +354,7 @@ func TestPartitionedGEMMThroughDevice(t *testing.T) {
 	if err := d.OffloadApp("gemm-part", []*kdt.Table{tab}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Run(); err != nil {
+	if _, err := d.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := d.Visor().ReadBytes(outAddr, outBytes)

@@ -1,0 +1,259 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectOrderDeterministic(t *testing.T) {
+	const n = 64
+	p := New(8)
+	// Early jobs sleep longest so completion order inverts index order.
+	out, err := Collect(context.Background(), p, n, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * 50 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("len(out) = %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestBoundedParallelism(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int64
+	p := New(workers)
+	err := p.Each(context.Background(), 24, func(context.Context, int) error {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > workers {
+		t.Errorf("observed %d concurrent jobs, bound is %d", got, workers)
+	}
+}
+
+func TestFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("job seven exploded")
+	p := New(4)
+	err := p.Each(context.Background(), 32, func(ctx context.Context, i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		// Later jobs linger so some are still in flight at failure time.
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestRealErrorOutranksCancellation(t *testing.T) {
+	// Every job fails; whichever failures were dispatched before the
+	// fail-fast cancellation landed, Each must report one of the jobs'
+	// own errors — never the cancellation noise the failure caused.
+	p := New(8)
+	err := p.Each(context.Background(), 16, func(_ context.Context, i int) error {
+		return fmt.Errorf("job %d failed", i)
+	})
+	if err == nil || IsCancellation(err) || !strings.HasPrefix(err.Error(), "job ") {
+		t.Fatalf("err = %v, want a job's own error", err)
+	}
+}
+
+func TestErrorCancelsRemainingJobs(t *testing.T) {
+	var started int64
+	sentinel := errors.New("boom")
+	p := New(2)
+	err := p.Each(context.Background(), 1000, func(ctx context.Context, i int) error {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			return sentinel
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n := atomic.LoadInt64(&started); n >= 1000 {
+		t.Errorf("all %d jobs ran despite early failure", n)
+	}
+}
+
+func TestEachAllRunsEverythingDespiteErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		err := New(workers).EachAll(context.Background(), 50, func(_ context.Context, i int) error {
+			atomic.AddInt64(&ran, 1)
+			if i%10 == 3 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+		if ran != 50 {
+			t.Fatalf("workers=%d: ran %d jobs, want all 50", workers, ran)
+		}
+	}
+}
+
+func TestEachAllPrefersRealErrorOverCancellation(t *testing.T) {
+	sentinel := errors.New("real failure")
+	for _, workers := range []int{1, 4} {
+		err := New(workers).EachAll(context.Background(), 10, func(_ context.Context, i int) error {
+			switch i {
+			case 2:
+				// A job-local timeout classifies as cancellation…
+				return fmt.Errorf("job timeout: %w", context.DeadlineExceeded)
+			case 5:
+				// …and must not outrank a genuine failure, in either path.
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want the real failure", workers, err)
+		}
+	}
+}
+
+func TestEachAllStopsOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int64
+	err := New(2).EachAll(ctx, 1000, func(jctx context.Context, i int) error {
+		if atomic.AddInt64(&ran, 1) == 2 {
+			cancel()
+		}
+		select {
+		case <-jctx.Done():
+			return jctx.Err()
+		case <-time.After(time.Millisecond):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&ran); n >= 1000 {
+		t.Errorf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	for _, workers := range []int{1, 4} {
+		err := New(workers).Each(ctx, 10, func(context.Context, int) error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if atomic.LoadInt64(&ran) != 0 {
+		t.Errorf("%d jobs ran under a cancelled context", ran)
+	}
+}
+
+func TestCancelStopsInFlightJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- New(2).Each(ctx, 100, func(jctx context.Context, i int) error {
+			if atomic.AddInt64(&started, 1) == 2 {
+				close(release)
+			}
+			<-jctx.Done()
+			return jctx.Err()
+		})
+	}()
+	<-release
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not stop after cancellation")
+	}
+	if n := atomic.LoadInt64(&started); n >= 100 {
+		t.Errorf("all %d jobs started despite cancellation", n)
+	}
+}
+
+func TestSequentialStopsAtFirstError(t *testing.T) {
+	var ran int64
+	sentinel := errors.New("stop here")
+	err := New(1).Each(context.Background(), 100, func(_ context.Context, i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d jobs, want 4 (stop right after the failure)", ran)
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	if err := New(4).Each(context.Background(), 0, nil); err != nil {
+		t.Errorf("0 jobs: %v", err)
+	}
+	if w := New(0).Workers(); w < 1 {
+		t.Errorf("default workers = %d, want >= 1", w)
+	}
+	if w := New(-3).Workers(); w < 1 {
+		t.Errorf("negative workers clamped to %d, want >= 1", w)
+	}
+}
+
+func TestIsCancellation(t *testing.T) {
+	if !IsCancellation(context.Canceled) || !IsCancellation(fmt.Errorf("wrap: %w", context.DeadlineExceeded)) {
+		t.Error("cancellation errors not recognized")
+	}
+	if IsCancellation(errors.New("boom")) || IsCancellation(nil) {
+		t.Error("non-cancellation misclassified")
+	}
+}
