@@ -256,6 +256,7 @@ func BenchmarkFig16bBigdataEnergy(b *testing.B) {
 // cache reads either way.
 func benchmarkSuitePrewarm(b *testing.B, workers int) {
 	jobs := experiments.CellsFor(experiments.CachedExperimentIDs)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchScale)
 		s.Workers = workers
@@ -275,6 +276,7 @@ func BenchmarkSuitePrewarmParallel(b *testing.B) {
 // BenchmarkFig3SensitivityParallel measures the 48-cell Fig. 3 sweep
 // through the runner pool (its sequential baseline is Fig3bThroughput).
 func BenchmarkFig3SensitivityParallel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig3Sensitivity(context.Background(), benchScale, runtime.GOMAXPROCS(0)); err != nil {
 			b.Fatal(err)

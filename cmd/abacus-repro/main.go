@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -117,6 +118,8 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment id or 'all' (see -list)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent device simulations (1 = fully sequential)")
 	list := flag.Bool("list", false, "print the experiment ids and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -124,11 +127,41 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abacus-repro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "abacus-repro:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *scale, *exp, *jobs); err != nil {
+	err := run(ctx, *scale, *exp, *jobs)
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "abacus-repro:", merr)
+		} else {
+			runtime.GC() // settle live objects before the heap snapshot
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "abacus-repro:", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "abacus-repro:", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }
@@ -175,34 +208,17 @@ func run(ctx context.Context, scale int64, exp string, jobs int) error {
 	// streaming each table as it completes, exactly like the original
 	// sequential harness.
 	if jobs != 1 {
+		// Every device run of every selected experiment — including the
+		// Fig. 3 sweep and the Fig. 15 series, which are ordinary cells —
+		// is in this one job list, so the pool stays saturated with no
+		// serialized warm phases between experiment families. Rendering
+		// afterwards is mostly cache reads.
 		var selIDs []string
 		for _, e := range sel {
 			selIDs = append(selIDs, e.id)
 		}
 		if err := s.Prewarm(ctx, experiments.CellsFor(selIDs)); err != nil && runner.IsCancellation(err) {
 			return err
-		}
-		// The Fig. 3 sweep has its own worker pool; computing it here,
-		// while nothing else runs, keeps total simulation concurrency
-		// within -jobs instead of nesting that pool inside a render job.
-		for _, e := range sel {
-			if e.id == "fig3b" || e.id == "fig3c" {
-				if _, err := s.Fig3Points(ctx); err != nil && runner.IsCancellation(err) {
-					return err
-				}
-				break
-			}
-		}
-		// Fig. 15's series runs likewise warm here so the render phase
-		// below simulates nothing — then a failing render cannot cancel a
-		// lower-index render mid-simulation and shorten the printed prefix.
-		for _, e := range sel {
-			if e.id == "fig15" {
-				if _, err := s.Fig15(ctx); err != nil && runner.IsCancellation(err) {
-					return err
-				}
-				break
-			}
 		}
 	}
 

@@ -12,8 +12,11 @@ import (
 // host storage stack.
 type dataPath interface {
 	// Read makes [addr, addr+bytes) available in accelerator DRAM,
-	// returning the completion time and (functional runs) the bytes.
-	Read(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error)
+	// returning the completion time and (functional runs) the bytes. dst,
+	// when non-nil with sufficient capacity, may be reused as the payload
+	// destination so per-screen section buffers recycle instead of
+	// reallocating.
+	Read(at sim.Time, owner int, addr, bytes int64, dst []byte) (sim.Time, []byte, error)
 	// Write persists a data section. data may be nil for timing-only runs.
 	Write(at sim.Time, owner int, addr, bytes int64, data []byte) (sim.Time, error)
 	// Populate installs input data during experiment setup, untimed.
@@ -32,8 +35,8 @@ type visorPath struct {
 	overlap bool
 }
 
-func (p *visorPath) Read(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error) {
-	return p.v.MapRead(at, owner, addr, bytes)
+func (p *visorPath) Read(at sim.Time, owner int, addr, bytes int64, dst []byte) (sim.Time, []byte, error) {
+	return p.v.MapReadInto(at, owner, addr, bytes, dst)
 }
 
 func (p *visorPath) Write(at sim.Time, owner int, addr, bytes int64, data []byte) (sim.Time, error) {
@@ -53,7 +56,7 @@ type hostPath struct {
 	h *host.Host
 }
 
-func (p *hostPath) Read(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error) {
+func (p *hostPath) Read(at sim.Time, owner int, addr, bytes int64, dst []byte) (sim.Time, []byte, error) {
 	done, data := p.h.FetchToAccel(at, addr, bytes)
 	return done, data, nil
 }

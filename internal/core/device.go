@@ -62,6 +62,42 @@ type Device struct {
 	doneAt    sim.Time
 	ran       bool
 	runErr    error
+
+	// donePool recycles screen-completion events: each carries its closure
+	// allocated once, so steady-state screen dispatch schedules completions
+	// without allocating. Single-goroutine like the engine itself.
+	donePool []*screenDoneEvent
+}
+
+// screenDoneEvent is a pooled completion callback for one in-flight screen.
+type screenDoneEvent struct {
+	d  *Device
+	s  *kernel.Screen
+	w  int
+	fn func() // bound to run once at creation, reused across screens
+}
+
+func (e *screenDoneEvent) run() {
+	d, s, w := e.d, e.s, e.w
+	e.s = nil
+	d.donePool = append(d.donePool, e)
+	d.onScreenDone(s, w)
+}
+
+// scheduleScreenDone enqueues onScreenDone(s, w) at time at through the
+// event pool.
+func (d *Device) scheduleScreenDone(at sim.Time, s *kernel.Screen, w int) {
+	var e *screenDoneEvent
+	if n := len(d.donePool); n > 0 {
+		e = d.donePool[n-1]
+		d.donePool[n-1] = nil
+		d.donePool = d.donePool[:n-1]
+	} else {
+		e = &screenDoneEvent{d: d}
+		e.fn = e.run
+	}
+	e.s, e.w = s, w
+	d.eng.Schedule(at, e.fn)
 }
 
 // New builds a device. The flash backbone and host SSD both exist so the
@@ -237,7 +273,9 @@ func (d *Device) execScreen(s *kernel.Screen, w int) {
 	for _, op := range s.Ops {
 		switch op.Kind {
 		case kdt.OpRead:
-			done, data, err := d.path.Read(start, owner, op.FlashAddr, op.Bytes)
+			// The section's previous buffer is dead once this read lands,
+			// so offer it to the datapath for reuse.
+			done, data, err := d.path.Read(start, owner, op.FlashAddr, op.Bytes, k.Sections[op.Section])
 			if err != nil {
 				d.fail(err)
 				return
@@ -305,7 +343,7 @@ func (d *Device) execScreen(s *kernel.Screen, w int) {
 		}
 		d.spans = append(d.spans, sp)
 	}
-	d.eng.Schedule(end, func() { d.onScreenDone(s, w) })
+	d.scheduleScreenDone(end, s, w)
 }
 
 // storagePathWatts estimates the power engaged while a screen streams data,

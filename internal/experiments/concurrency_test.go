@@ -122,10 +122,21 @@ func TestCellsForDedupAndDeterminism(t *testing.T) {
 			t.Fatalf("CellsFor order differs at %d: %s vs %s", i, all[i], again[i])
 		}
 	}
-	for _, id := range []string{"t1", "t2", "mixes", "fig3b", "fig3c", "fig15", "bogus"} {
+	for _, id := range []string{"t1", "t2", "mixes", "bogus"} {
 		if c := Cells(id); c != nil {
 			t.Errorf("Cells(%q) = %d jobs, want none", id, len(c))
 		}
+	}
+	// The sweep and series experiments are ordinary cells now: one Prewarm
+	// list covers a full reproduction with no special-case warm phases.
+	if c := Cells("fig3b"); len(c) != 48 {
+		t.Errorf("Cells(fig3b) = %d jobs, want 48", len(c))
+	}
+	if c := Cells("fig3c"); len(c) != 48 {
+		t.Errorf("Cells(fig3c) = %d jobs, want 48", len(c))
+	}
+	if c := Cells("fig15"); len(c) != 2 {
+		t.Errorf("Cells(fig15) = %d jobs, want 2", len(c))
 	}
 }
 

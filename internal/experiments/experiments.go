@@ -36,22 +36,37 @@ const (
 	KindHeterogeneous
 	// KindBigdata is a §5.6 graph/bigdata application.
 	KindBigdata
+	// KindSensitivity is one (cores, serial%) cell of the Fig. 3b/3c sweep
+	// on the conventional system.
+	KindSensitivity
+	// KindSeries is a mix run with time-series collection (Fig. 15).
+	KindSeries
 )
 
-// Job names one cached device simulation: a workload cell (application or
-// mix) on one system. It is the Suite's cache key and the unit of work
-// Prewarm hands to the runner pool.
+// Job names one cached device simulation: a workload cell (application,
+// mix, sensitivity point, or series run) on one system. It is the Suite's
+// cache key and the unit of work Prewarm hands to the runner pool — every
+// device run of a full reproduction, including the Fig. 3 sweep and the
+// Fig. 15 series, flows through this one type, so a single Prewarm saturates
+// the worker pool with no serialized warm phases between experiment
+// families.
 type Job struct {
-	Kind Kind
-	Name string // application name (KindHomogeneous, KindBigdata)
-	Mix  int    // mix number (KindHeterogeneous)
-	Sys  core.System
+	Kind  Kind
+	Name  string // application name (KindHomogeneous, KindBigdata)
+	Mix   int    // mix number (KindHeterogeneous, KindSeries)
+	Sys   core.System
+	Cores int // worker count (KindSensitivity)
+	Pct   int // serial instruction percentage (KindSensitivity)
 }
 
 func (j Job) String() string {
 	switch j.Kind {
 	case KindHeterogeneous:
 		return fmt.Sprintf("MX%d/%s", j.Mix, j.Sys)
+	case KindSensitivity:
+		return fmt.Sprintf("serial%d@%dc/%s", j.Pct, j.Cores, j.Sys)
+	case KindSeries:
+		return fmt.Sprintf("MX%d-series/%s", j.Mix, j.Sys)
 	default:
 		return fmt.Sprintf("%s/%s", j.Name, j.Sys)
 	}
@@ -62,8 +77,11 @@ func (j Job) bundle(o workload.Options) (*workload.Bundle, error) {
 	switch j.Kind {
 	case KindHomogeneous, KindBigdata:
 		return workload.Homogeneous(j.Name, o)
-	case KindHeterogeneous:
+	case KindHeterogeneous, KindSeries:
 		return workload.Mix(j.Mix, o)
+	case KindSensitivity:
+		b, _, err := workload.Sensitivity(j.Pct, j.Cores, o)
+		return b, err
 	}
 	return nil, fmt.Errorf("experiments: unknown job kind %d", j.Kind)
 }
@@ -204,7 +222,27 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunBundle(ctx, j.Sys, b, false)
+	switch j.Kind {
+	case KindSensitivity:
+		// The sweep overrides the worker count; everything else matches
+		// the conventional baseline.
+		cfg := core.DefaultConfig(core.SIMD)
+		cfg.Workers = j.Cores
+		d, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, app := range b.Apps {
+			if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+				return nil, err
+			}
+		}
+		return d.Run(ctx)
+	case KindSeries:
+		return RunBundle(ctx, j.Sys, b, true)
+	default:
+		return RunBundle(ctx, j.Sys, b, false)
+	}
 }
 
 // Prewarm fills the cache for every listed job through the runner pool,
@@ -240,13 +278,36 @@ func (s *Suite) Bigdata(ctx context.Context, name string, sys core.System) (*sta
 // CachedExperimentIDs lists the abacus-repro experiment ids whose device
 // runs flow through the Suite cache — the ones Cells enumerates jobs for.
 var CachedExperimentIDs = []string{
-	"fig3d", "fig3e", "fig10a", "fig10b", "fig11a", "fig11b",
-	"fig12", "fig13a", "fig13b", "fig14a", "fig14b", "fig16a", "fig16b",
+	"fig3b", "fig3c", "fig3d", "fig3e", "fig10a", "fig10b", "fig11a", "fig11b",
+	"fig12", "fig13a", "fig13b", "fig14a", "fig14b", "fig15", "fig16a", "fig16b",
+}
+
+// sensitivityCells enumerates the Fig. 3 sweep in (cores, ratio) order —
+// the order the sweep's points render in.
+func sensitivityCells() []Job {
+	var out []Job
+	for cores := 1; cores <= 8; cores++ {
+		for _, pct := range SerialRatios {
+			out = append(out, Job{Kind: KindSensitivity, Cores: cores, Pct: pct, Sys: core.SIMD})
+		}
+	}
+	return out
+}
+
+// seriesSystems are the Fig. 15 trace systems, in render order.
+var seriesSystems = []core.System{core.SIMD, core.IntraO3}
+
+func seriesCells() []Job {
+	var out []Job
+	for _, sys := range seriesSystems {
+		out = append(out, Job{Kind: KindSeries, Mix: 1, Sys: sys})
+	}
+	return out
 }
 
 // Cells enumerates the cached device runs one experiment needs, in the
 // order the experiment consumes them. Experiments that do not use the
-// cache (t1, t2, mixes, fig3b, fig3c, fig15) return nil.
+// cache (t1, t2, mixes) return nil.
 func Cells(id string) []Job {
 	homogAll := func(names []string, kind Kind) []Job {
 		var out []Job
@@ -267,6 +328,10 @@ func Cells(id string) []Job {
 		return out
 	}
 	switch id {
+	case "fig3b", "fig3c":
+		return sensitivityCells()
+	case "fig15":
+		return seriesCells()
 	case "fig3d", "fig3e":
 		var out []Job
 		for _, name := range Fig3Apps {
@@ -367,58 +432,46 @@ type Fig3Point struct {
 
 // Fig3Sensitivity sweeps cores 1–8 × serial ratio 0–50% on the
 // conventional system (Fig. 3b and 3c share these runs). The 48 cells are
-// independent simulations, so they run through a pool of at most workers
+// ordinary suite jobs, so they run through a pool of at most workers
 // goroutines (0 means GOMAXPROCS); the returned points are ordered by
 // (cores, ratio) regardless of completion order.
 func Fig3Sensitivity(ctx context.Context, scale int64, workers int) ([]Fig3Point, error) {
-	type sweep struct{ cores, pct int }
-	var cells []sweep
-	for cores := 1; cores <= 8; cores++ {
-		for _, pct := range SerialRatios {
-			cells = append(cells, sweep{cores, pct})
-		}
-	}
-	pool := runner.New(workers)
-	return runner.Collect(ctx, pool, len(cells), func(ctx context.Context, i int) (Fig3Point, error) {
-		cores, pct := cells[i].cores, cells[i].pct
-		o := workload.DefaultOptions()
-		o.Scale = scale
-		b, nominal, err := workload.Sensitivity(pct, cores, o)
-		if err != nil {
-			return Fig3Point{}, err
-		}
-		cfg := core.DefaultConfig(core.SIMD)
-		cfg.Workers = cores
-		d, err := core.New(cfg)
-		if err != nil {
-			return Fig3Point{}, err
-		}
-		for _, app := range b.Apps {
-			if err := d.OffloadApp(app.Name, app.Tables); err != nil {
-				return Fig3Point{}, err
-			}
-		}
-		res, err := d.Run(ctx)
-		if err != nil {
-			return Fig3Point{}, err
-		}
-		return Fig3Point{
-			Cores:      cores,
-			SerialPct:  pct,
-			Throughput: float64(nominal) / units.Seconds(res.Makespan) / 1e9,
-			Util:       res.WorkerUtil,
-		}, nil
-	})
+	s := NewSuite(scale)
+	s.Workers = workers
+	return s.Fig3Points(ctx)
 }
 
 // Fig3Points returns the suite-cached sensitivity sweep, computing it on
-// first request: Fig. 3b and 3c (and racing callers) share one sweep.
+// first request: Fig. 3b and 3c (and racing callers) share one sweep. The
+// sweep's device runs are ordinary cells — a Prewarm that included fig3b's
+// cells makes this pure assembly.
 func (s *Suite) Fig3Points(ctx context.Context) ([]Fig3Point, error) {
 	return await(ctx, &s.mu,
 		func() *flight[[]Fig3Point] { return s.fig3 },
 		func(f *flight[[]Fig3Point]) { s.fig3 = f },
 		func(ctx context.Context) ([]Fig3Point, error) {
-			return Fig3Sensitivity(ctx, s.Scale, s.Workers)
+			jobs := sensitivityCells()
+			if err := s.Prewarm(ctx, jobs); err != nil {
+				return nil, err
+			}
+			nominal, err := workload.SensitivityNominal(s.opts())
+			if err != nil {
+				return nil, err
+			}
+			points := make([]Fig3Point, 0, len(jobs))
+			for _, j := range jobs {
+				res, err := s.Run(ctx, j)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, Fig3Point{
+					Cores:      j.Cores,
+					SerialPct:  j.Pct,
+					Throughput: float64(nominal) / units.Seconds(res.Makespan) / 1e9,
+					Util:       res.WorkerUtil,
+				})
+			}
+			return points, nil
 		})
 }
 
@@ -681,29 +734,25 @@ func (s *Suite) Fig14b(ctx context.Context) (*report.Table, error) {
 
 // Fig15 runs MX1 with time-series collection on SIMD and IntraO3 and
 // returns the FU-utilization and power traces. The two series runs are
-// single-flight cached like every other cell, so racing callers share
-// one computation and a prewarmed suite renders this figure without
-// simulating.
+// ordinary cells (KindSeries), single-flight cached like every other cell,
+// so racing callers share one computation and a prewarmed suite renders
+// this figure without simulating.
 func (s *Suite) Fig15(ctx context.Context) (map[string]*stats.Result, error) {
 	return await(ctx, &s.mu,
 		func() *flight[map[string]*stats.Result] { return s.fig15 },
 		func(f *flight[map[string]*stats.Result]) { s.fig15 = f },
 		func(ctx context.Context) (map[string]*stats.Result, error) {
-			systems := []core.System{core.SIMD, core.IntraO3}
-			results, err := runner.Collect(ctx, runner.New(s.Workers), len(systems),
-				func(ctx context.Context, i int) (*stats.Result, error) {
-					b, err := workload.Mix(1, s.opts())
-					if err != nil {
-						return nil, err
-					}
-					return RunBundle(ctx, systems[i], b, true)
-				})
-			if err != nil {
+			jobs := seriesCells()
+			if err := s.Prewarm(ctx, jobs); err != nil {
 				return nil, err
 			}
 			out := map[string]*stats.Result{}
-			for i, sys := range systems {
-				out[sys.String()] = results[i]
+			for _, j := range jobs {
+				res, err := s.Run(ctx, j)
+				if err != nil {
+					return nil, err
+				}
+				out[j.Sys.String()] = res
 			}
 			return out, nil
 		})

@@ -154,13 +154,22 @@ func (g Geometry) SuperBlockOf(pg PhysGroup) SuperBlock {
 // GroupsOf returns the page-group range of a super block: the group for each
 // page index. Metadata groups come first.
 func (g Geometry) GroupsOf(sb SuperBlock) []PhysGroup {
-	row := int(sb) / g.BlocksPerDie
-	block := int(sb) % g.BlocksPerDie
 	out := make([]PhysGroup, g.PagesPerBlock)
+	pg, step := g.GroupSpan(sb)
 	for p := 0; p < g.PagesPerBlock; p++ {
-		out[p] = g.Compose(GroupAddr{DieRow: row, Block: block, Page: p})
+		out[p] = pg + PhysGroup(int64(p)*step)
 	}
 	return out
+}
+
+// GroupSpan returns the first page group of a super block and the index
+// stride between consecutive pages, so callers can walk a super block's
+// groups (first + i*step for i in [0, PagesPerBlock)) without allocating
+// the slice GroupsOf builds.
+func (g Geometry) GroupSpan(sb SuperBlock) (first PhysGroup, step int64) {
+	row := int(sb) / g.BlocksPerDie
+	block := int(sb) % g.BlocksPerDie
+	return g.Compose(GroupAddr{DieRow: row, Block: block, Page: 0}), int64(g.DieRows())
 }
 
 // Backbone is the simulated flash array.
@@ -186,6 +195,12 @@ type Backbone struct {
 	programs int64
 	reads    int64
 	store    map[PhysGroup][]byte
+	// bufPool recycles full-group payload buffers freed by erases so
+	// functional runs do not reallocate 64 KB per program in steady state.
+	bufPool [][]byte
+
+	rows  int64 // cached Geo.DieRows()
+	perCh int64 // cached per-channel bytes of one group
 }
 
 // NewBackbone builds a backbone with the given geometry and timing.
@@ -193,7 +208,11 @@ func NewBackbone(geo Geometry, tim Timing) (*Backbone, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	b := &Backbone{Geo: geo, Tim: tim, store: make(map[PhysGroup][]byte)}
+	b := &Backbone{
+		Geo: geo, Tim: tim, store: make(map[PhysGroup][]byte),
+		rows:  int64(geo.DieRows()),
+		perCh: int64(geo.PlanesPerDie) * geo.PageSize,
+	}
 	b.channels = make([]*sim.Pipe, geo.Channels)
 	for c := range b.channels {
 		b.channels[c] = sim.NewPipe(fmt.Sprintf("flash-ch%d", c), tim.ChannelBW)
@@ -215,16 +234,21 @@ func NewBackbone(geo Geometry, tim Timing) (*Backbone, error) {
 
 func (b *Backbone) die(ch, row int) *sim.Resource { return b.dies[ch*b.Geo.DieRows()+row] }
 
-// ReadGroup books a page-group read requested at time at and returns when
-// the data is available on the channel side. All channels sense in parallel;
-// each channel then moves planes-per-die pages over its bus.
-func (b *Backbone) ReadGroup(at sim.Time, pg PhysGroup) sim.Time {
-	a := b.Geo.Decompose(pg)
-	perCh := int64(b.Geo.PlanesPerDie) * b.Geo.PageSize
+// rowOf returns a group's die row — the only coordinate the timing model
+// needs — without the full divisions of Decompose.
+func (b *Backbone) rowOf(pg PhysGroup) int {
+	if int64(pg)/b.rows >= int64(b.Geo.BlocksPerDie)*int64(b.Geo.PagesPerBlock) {
+		panic(fmt.Sprintf("flash: group %d beyond capacity", pg))
+	}
+	return int(int64(pg) % b.rows)
+}
+
+// readGroupRow books one page-group read on the given die row.
+func (b *Backbone) readGroupRow(at sim.Time, row int) sim.Time {
 	done := at
 	for ch := 0; ch < b.Geo.Channels; ch++ {
-		_, senseEnd := b.die(ch, a.DieRow).Reserve(at, b.Tim.ReadPage)
-		_, xferEnd := b.channels[ch].Transfer(senseEnd, perCh)
+		_, senseEnd := b.die(ch, row).Reserve(at, b.Tim.ReadPage)
+		_, xferEnd := b.channels[ch].Transfer(senseEnd, b.perCh)
 		if xferEnd > done {
 			done = xferEnd
 		}
@@ -233,16 +257,22 @@ func (b *Backbone) ReadGroup(at sim.Time, pg PhysGroup) sim.Time {
 	return done
 }
 
+// ReadGroup books a page-group read requested at time at and returns when
+// the data is available on the channel side. All channels sense in parallel;
+// each channel then moves planes-per-die pages over its bus.
+func (b *Backbone) ReadGroup(at sim.Time, pg PhysGroup) sim.Time {
+	return b.readGroupRow(at, b.rowOf(pg))
+}
+
 // ProgramGroup books a page-group program requested at time at and returns
 // when the program completes on all dies. Data moves over each channel bus
 // first, then the dies program in parallel.
 func (b *Backbone) ProgramGroup(at sim.Time, pg PhysGroup) sim.Time {
-	a := b.Geo.Decompose(pg)
-	perCh := int64(b.Geo.PlanesPerDie) * b.Geo.PageSize
+	row := b.rowOf(pg)
 	done := at
 	for ch := 0; ch < b.Geo.Channels; ch++ {
-		_, xferEnd := b.channels[ch].Transfer(at, perCh)
-		_, progEnd := b.die(ch, a.DieRow).Reserve(xferEnd, b.Tim.ProgramPage)
+		_, xferEnd := b.channels[ch].Transfer(at, b.perCh)
+		_, progEnd := b.die(ch, row).Reserve(xferEnd, b.Tim.ProgramPage)
 		if progEnd > done {
 			done = progEnd
 		}
@@ -273,15 +303,21 @@ func (b *Backbone) EraseSuper(at sim.Time, sb SuperBlock) sim.Time {
 	}
 	b.erases[sb]++
 	if b.Functional {
-		for _, pg := range b.Geo.GroupsOf(sb) {
-			delete(b.store, pg)
+		pg, step := b.Geo.GroupSpan(sb)
+		for p := 0; p < b.Geo.PagesPerBlock; p++ {
+			if buf, ok := b.store[pg]; ok {
+				delete(b.store, pg)
+				b.bufPool = append(b.bufPool, buf)
+			}
+			pg += PhysGroup(step)
 		}
 	}
 	return done
 }
 
 // Store saves a functional payload for a page group. It is a no-op unless
-// Functional is set. The payload is copied.
+// Functional is set. The payload is copied, reusing a buffer recycled from
+// an earlier erase (or an overwritten mapping) when one fits.
 func (b *Backbone) Store(pg PhysGroup, data []byte) {
 	if !b.Functional {
 		return
@@ -289,9 +325,27 @@ func (b *Backbone) Store(pg PhysGroup, data []byte) {
 	if int64(len(data)) > b.Geo.GroupSize() {
 		panic(fmt.Sprintf("flash: payload %d exceeds group size %d", len(data), b.Geo.GroupSize()))
 	}
-	cp := make([]byte, len(data))
+	if old, ok := b.store[pg]; ok {
+		b.bufPool = append(b.bufPool, old)
+	}
+	cp := b.getBuf(len(data))
 	copy(cp, data)
 	b.store[pg] = cp
+}
+
+// getBuf returns a payload buffer of length n, recycling the pool when a
+// pooled buffer is large enough.
+func (b *Backbone) getBuf(n int) []byte {
+	for i := len(b.bufPool) - 1; i >= 0; i-- {
+		if cap(b.bufPool[i]) >= n {
+			buf := b.bufPool[i][:n]
+			b.bufPool[i] = b.bufPool[len(b.bufPool)-1]
+			b.bufPool[len(b.bufPool)-1] = nil
+			b.bufPool = b.bufPool[:len(b.bufPool)-1]
+			return buf
+		}
+	}
+	return make([]byte, n)
 }
 
 // Load returns the functional payload for a page group, or nil if none (or

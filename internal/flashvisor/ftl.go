@@ -7,6 +7,7 @@ package flashvisor
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/flash"
 )
@@ -22,22 +23,39 @@ import (
 type FTL struct {
 	geo flash.Geometry
 
-	// table maps logical group -> physical group (-1 when unmapped); it is
-	// the structure that occupies 2 MB of scratchpad at full geometry.
+	// table maps logical group -> physical group + 1 (0 when unmapped); it
+	// is the structure that occupies 2 MB of scratchpad at full geometry.
+	// The +1 bias makes the zero value "unmapped", so a freshly formatted
+	// table is just zeroed memory — no O(capacity) initialization pass.
 	table []int32
-	// rev maps physical group -> logical group (-1 when free/invalid),
+	// rev maps physical group -> logical group + 1 (0 when free/invalid),
 	// which GC migration needs to retarget mappings.
 	rev []int32
 
-	freeSBs   [][]flash.SuperBlock // per die row: erased, ready
-	usedSBs   []flash.SuperBlock   // filled, in round-robin reclaim order
-	active    []flash.SuperBlock   // per die row
+	freeSBs [][]flash.SuperBlock // per die row: erased, ready
+	// usedSBs is a head-indexed queue (filled, in round-robin reclaim
+	// order): popping the front moves usedHead instead of reslicing, so
+	// the backing array is reused instead of growing for the life of the
+	// device.
+	usedSBs   []flash.SuperBlock
+	usedHead  int
+	active    []flash.SuperBlock // per die row
 	hasActive []bool
 	cursor    []int // next page index within each row's active super block
 	allocRow  int   // rotating row for the next allocation
 
 	logicalGroups int64
 	validPerSB    []int32
+
+	// Cached geometry terms for the per-group hot paths. When the row and
+	// page counts are powers of two (the default geometry), superblock-of
+	// lookups reduce to shifts and masks.
+	rows      int64
+	pagesPB   int64
+	pow2      bool
+	rowShift  uint
+	rowMask   int64
+	pageShift uint
 }
 
 // gcReserve is the number of free super blocks withheld per die row from
@@ -78,18 +96,33 @@ func NewFTL(geo flash.Geometry, op float64) (*FTL, error) {
 		active:        make([]flash.SuperBlock, rows),
 		hasActive:     make([]bool, rows),
 		cursor:        make([]int, rows),
+		rows:          int64(rows),
+		pagesPB:       int64(geo.PagesPerBlock),
 	}
-	for i := range f.table {
-		f.table[i] = -1
-	}
-	for i := range f.rev {
-		f.rev[i] = -1
+	if f.rows&(f.rows-1) == 0 && f.pagesPB&(f.pagesPB-1) == 0 {
+		f.pow2 = true
+		f.rowShift = uint(bits.TrailingZeros64(uint64(f.rows)))
+		f.rowMask = f.rows - 1
+		f.pageShift = uint(bits.TrailingZeros64(uint64(f.pagesPB)))
 	}
 	for sb := 0; sb < geo.SuperBlocks(); sb++ {
 		row := sb / geo.BlocksPerDie
 		f.freeSBs[row] = append(f.freeSBs[row], flash.SuperBlock(sb))
 	}
 	return f, nil
+}
+
+// sbOf is Geometry.SuperBlockOf without the page decomposition, using
+// shift/mask arithmetic at power-of-two geometries.
+func (f *FTL) sbOf(pg flash.PhysGroup) flash.SuperBlock {
+	if f.pow2 {
+		row := int64(pg) & f.rowMask
+		block := int64(pg) >> f.rowShift >> f.pageShift
+		return flash.SuperBlock(row*int64(f.geo.BlocksPerDie) + block)
+	}
+	row := int64(pg) % f.rows
+	block := int64(pg) / f.rows / f.pagesPB
+	return flash.SuperBlock(row*int64(f.geo.BlocksPerDie) + block)
 }
 
 // LogicalGroups returns the exposed logical address space in page groups.
@@ -113,10 +146,10 @@ func (f *FTL) Lookup(lg int64) (flash.PhysGroup, bool) {
 		return 0, false
 	}
 	pg := f.table[lg]
-	if pg < 0 {
+	if pg == 0 {
 		return 0, false
 	}
-	return flash.PhysGroup(pg), true
+	return flash.PhysGroup(pg - 1), true
 }
 
 // ErrNoSpace is returned when allocation needs a reclaim first.
@@ -158,7 +191,7 @@ func (f *FTL) Alloc(gc bool) (flash.PhysGroup, bool, error) {
 	rolled := false
 	if !f.hasActive[row] || f.cursor[row] >= f.geo.GroupsPerSuperBlock() {
 		if f.hasActive[row] {
-			f.usedSBs = append(f.usedSBs, f.active[row])
+			f.pushUsed(f.active[row])
 			f.hasActive[row] = false
 		}
 		f.active[row] = f.freeSBs[row][0]
@@ -173,10 +206,52 @@ func (f *FTL) Alloc(gc bool) (flash.PhysGroup, bool, error) {
 	return pg, rolled, nil
 }
 
+// AllocRunLen reports how many consecutive host allocations are guaranteed
+// to proceed from the current log head without a rollover or a reclaim —
+// allocations strictly rotate die rows while every row's active super block
+// has room, so the bound is exact until the first row exhausts its block.
+// Callers batch the per-group foreground charges for runs of this length.
+func (f *FTL) AllocRunLen(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	cap := f.geo.GroupsPerSuperBlock()
+	rows := int(f.rows)
+	n := want
+	for i := 0; i < rows; i++ {
+		r := (f.allocRow + i) % rows
+		if !f.hasActive[r] || f.cursor[r] >= cap {
+			// The i'th allocation of the run would roll this row over.
+			if i < n {
+				n = i
+			}
+			break
+		}
+		// This row serves allocations i, i+rows, i+2*rows, ... of the run;
+		// it has room for the first (cap - cursor) of them.
+		roomFor := i + (cap-f.cursor[r])*rows
+		if roomFor < n {
+			n = roomFor
+		}
+	}
+	return n
+}
+
+// pushUsed appends to the round-robin reclaim queue, compacting the
+// consumed prefix once it dominates the backing array.
+func (f *FTL) pushUsed(sb flash.SuperBlock) {
+	if f.usedHead > 64 && f.usedHead*2 >= len(f.usedSBs) {
+		n := copy(f.usedSBs, f.usedSBs[f.usedHead:])
+		f.usedSBs = f.usedSBs[:n]
+		f.usedHead = 0
+	}
+	f.usedSBs = append(f.usedSBs, sb)
+}
+
 // ActiveSuperBlock returns the most recently opened super block for the
 // given physical group's die row (the journal target after a rollover).
 func (f *FTL) ActiveSuperBlock(pg flash.PhysGroup) flash.SuperBlock {
-	return f.geo.SuperBlockOf(pg)
+	return f.sbOf(pg)
 }
 
 // Commit binds logical group lg to physical group pg, invalidating any
@@ -185,21 +260,21 @@ func (f *FTL) Commit(lg int64, pg flash.PhysGroup) error {
 	if lg < 0 || lg >= f.logicalGroups {
 		return fmt.Errorf("flashvisor: logical group %d outside space of %d", lg, f.logicalGroups)
 	}
-	if old := f.table[lg]; old >= 0 {
-		f.invalidate(flash.PhysGroup(old))
+	if old := f.table[lg]; old != 0 {
+		f.invalidate(flash.PhysGroup(old - 1))
 	}
-	f.table[lg] = int32(pg)
-	f.rev[pg] = int32(lg)
-	f.validPerSB[f.geo.SuperBlockOf(pg)]++
+	f.table[lg] = int32(pg) + 1
+	f.rev[pg] = int32(lg) + 1
+	f.validPerSB[f.sbOf(pg)]++
 	return nil
 }
 
 func (f *FTL) invalidate(pg flash.PhysGroup) {
-	if f.rev[pg] < 0 {
+	if f.rev[pg] == 0 {
 		return
 	}
-	f.rev[pg] = -1
-	f.validPerSB[f.geo.SuperBlockOf(pg)]--
+	f.rev[pg] = 0
+	f.validPerSB[f.sbOf(pg)]--
 }
 
 // ValidCount returns the valid page groups in a super block.
@@ -209,41 +284,52 @@ func (f *FTL) ValidCount(sb flash.SuperBlock) int { return int(f.validPerSB[sb])
 // Storengine selects victims "from a used block pool in a round robin
 // fashion" rather than scanning the whole table for the greediest choice.
 func (f *FTL) VictimRoundRobin() (flash.SuperBlock, bool) {
-	if len(f.usedSBs) == 0 {
+	if f.usedHead == len(f.usedSBs) {
 		return 0, false
 	}
-	sb := f.usedSBs[0]
-	f.usedSBs = f.usedSBs[1:]
+	sb := f.usedSBs[f.usedHead]
+	f.usedHead++
 	return sb, true
 }
 
 // VictimGreedy pops the used super block with the fewest valid groups; it
-// exists for the GC-policy ablation and costs a full pool scan.
+// exists for the GC-policy ablation and costs a full pool scan. Removal
+// shifts the queued prefix by one slot, preserving round-robin order for
+// the remaining victims.
 func (f *FTL) VictimGreedy() (flash.SuperBlock, bool) {
-	if len(f.usedSBs) == 0 {
+	if f.usedHead == len(f.usedSBs) {
 		return 0, false
 	}
-	best := 0
-	for i, sb := range f.usedSBs {
-		if f.validPerSB[sb] < f.validPerSB[f.usedSBs[best]] {
+	best := f.usedHead
+	for i := f.usedHead + 1; i < len(f.usedSBs); i++ {
+		if f.validPerSB[f.usedSBs[i]] < f.validPerSB[f.usedSBs[best]] {
 			best = i
 		}
 	}
 	sb := f.usedSBs[best]
-	f.usedSBs = append(f.usedSBs[:best], f.usedSBs[best+1:]...)
+	copy(f.usedSBs[f.usedHead+1:best+1], f.usedSBs[f.usedHead:best])
+	f.usedHead++
 	return sb, true
 }
 
 // ValidGroups returns the (physical, logical) pairs still valid in a super
 // block, in page order.
 func (f *FTL) ValidGroups(sb flash.SuperBlock) []MigratePair {
-	var out []MigratePair
-	for _, pg := range f.geo.GroupsOf(sb) {
-		if lg := f.rev[pg]; lg >= 0 {
-			out = append(out, MigratePair{Phys: pg, Logical: int64(lg)})
+	return f.AppendValidGroups(nil, sb)
+}
+
+// AppendValidGroups appends the valid (physical, logical) pairs of a super
+// block to dst in page order and returns the extended slice; reclaim loops
+// pass a reused scratch buffer to keep the hot path allocation-free.
+func (f *FTL) AppendValidGroups(dst []MigratePair, sb flash.SuperBlock) []MigratePair {
+	pg, step := f.geo.GroupSpan(sb)
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		if lg := f.rev[pg]; lg != 0 {
+			dst = append(dst, MigratePair{Phys: pg, Logical: int64(lg - 1)})
 		}
+		pg += flash.PhysGroup(step)
 	}
-	return out
+	return dst
 }
 
 // MigratePair names a valid group inside a GC victim.
@@ -256,12 +342,12 @@ type MigratePair struct {
 // counting it as a fresh host write.
 func (f *FTL) Retarget(lg int64, dst flash.PhysGroup) {
 	old := f.table[lg]
-	if old >= 0 {
-		f.invalidate(flash.PhysGroup(old))
+	if old != 0 {
+		f.invalidate(flash.PhysGroup(old - 1))
 	}
-	f.table[lg] = int32(dst)
-	f.rev[dst] = int32(lg)
-	f.validPerSB[f.geo.SuperBlockOf(dst)]++
+	f.table[lg] = int32(dst) + 1
+	f.rev[dst] = int32(lg) + 1
+	f.validPerSB[f.sbOf(dst)]++
 }
 
 // Release returns an erased victim to its die row's free pool.
@@ -274,7 +360,7 @@ func (f *FTL) Release(sb flash.SuperBlock) {
 }
 
 // UsedSuperBlocks returns the reclaim-eligible pool size.
-func (f *FTL) UsedSuperBlocks() int { return len(f.usedSBs) }
+func (f *FTL) UsedSuperBlocks() int { return len(f.usedSBs) - f.usedHead }
 
 // CanAllocHost reports whether a host write can allocate without
 // reclaiming. A single reclaim of a fully-valid victim nets zero free
@@ -297,17 +383,17 @@ func (f *FTL) MappingBytes() int64 { return int64(len(f.table)) * 4 }
 func (f *FTL) CheckConsistency() error {
 	counts := make([]int32, f.geo.SuperBlocks())
 	for lg, pg := range f.table {
-		if pg < 0 {
+		if pg == 0 {
 			continue
 		}
-		if f.rev[pg] != int32(lg) {
-			return fmt.Errorf("flashvisor: table[%d]=%d but rev[%d]=%d", lg, pg, pg, f.rev[pg])
+		if f.rev[pg-1] != int32(lg)+1 {
+			return fmt.Errorf("flashvisor: table[%d]=%d but rev[%d]=%d", lg, pg-1, pg-1, f.rev[pg-1]-1)
 		}
-		counts[f.geo.SuperBlockOf(flash.PhysGroup(pg))]++
+		counts[f.sbOf(flash.PhysGroup(pg-1))]++
 	}
 	for pg, lg := range f.rev {
-		if lg >= 0 && f.table[lg] != int32(pg) {
-			return fmt.Errorf("flashvisor: rev[%d]=%d but table[%d]=%d", pg, lg, lg, f.table[lg])
+		if lg != 0 && f.table[lg-1] != int32(pg)+1 {
+			return fmt.Errorf("flashvisor: rev[%d]=%d but table[%d]=%d", pg, lg-1, lg-1, f.table[lg-1]-1)
 		}
 	}
 	for sb := range counts {

@@ -30,42 +30,68 @@ type lockHold struct {
 	release sim.Time
 }
 
+type expiredHold struct {
+	s, e int64
+	v    *lockHold
+}
+
 // RangeLocks is Flashvisor's data-section protection (paper §4.3): a
 // red-black interval tree keyed by the start page group of each mapped
 // section, augmented with the range end. Grants are analytic: acquiring a
 // conflicting range is delayed until the conflicting holders release.
+//
+// Every request funnels through the single Flashvisor LWP, so the structure
+// is single-goroutine by construction; the scan state and the hold/prune
+// buffers are reused across Grant calls to keep the per-request path
+// allocation-free.
 type RangeLocks struct {
 	tree      rbtree.Tree
 	conflicts int64
 	waited    units.Duration
+
+	// Reused per-Grant scan state: scanFn is the Overlaps callback bound
+	// once, reading/writing the scan* fields instead of capturing locals.
+	scanFn    func(rbtree.Item) bool
+	scanAt    sim.Time
+	scanGrant sim.Time
+	scanMode  LockMode
+	prune     []expiredHold
+
+	// holdPool recycles released/pruned lockHolds.
+	holdPool []*lockHold
+}
+
+func (l *RangeLocks) scan(it rbtree.Item) bool {
+	h := it.Value.(*lockHold)
+	if h.release <= l.scanAt {
+		l.prune = append(l.prune, expiredHold{it.Start, it.End, h})
+		return true
+	}
+	if l.scanMode == LockRead && h.mode == LockRead {
+		return true // shared readers
+	}
+	if h.release > l.scanGrant {
+		l.scanGrant = h.release
+	}
+	return true
 }
 
 // Grant returns the earliest time at or after `at` when [start, end) may be
 // held in the given mode. It also prunes holds that released before `at`.
 func (l *RangeLocks) Grant(at sim.Time, start, end int64, mode LockMode) sim.Time {
-	grant := at
-	type expired struct {
-		s, e int64
-		v    interface{}
+	if l.scanFn == nil {
+		l.scanFn = l.scan
 	}
-	var prune []expired
-	l.tree.Overlaps(start, end, func(it rbtree.Item) bool {
-		h := it.Value.(*lockHold)
-		if h.release <= at {
-			prune = append(prune, expired{it.Start, it.End, it.Value})
-			return true
-		}
-		if mode == LockRead && h.mode == LockRead {
-			return true // shared readers
-		}
-		if h.release > grant {
-			grant = h.release
-		}
-		return true
-	})
-	for _, p := range prune {
+	l.scanAt, l.scanGrant, l.scanMode = at, at, mode
+	l.prune = l.prune[:0]
+	l.tree.Overlaps(start, end, l.scanFn)
+	grant := l.scanGrant
+	for i, p := range l.prune {
 		l.tree.Delete(p.s, p.e, p.v)
+		l.holdPool = append(l.holdPool, p.v)
+		l.prune[i] = expiredHold{}
 	}
+	l.prune = l.prune[:0]
 	if grant > at {
 		l.conflicts++
 		l.waited += grant - at
@@ -73,12 +99,26 @@ func (l *RangeLocks) Grant(at sim.Time, start, end int64, mode LockMode) sim.Tim
 	return grant
 }
 
+// getHold returns a recycled or fresh lockHold.
+func (l *RangeLocks) getHold() *lockHold {
+	if n := len(l.holdPool); n > 0 {
+		h := l.holdPool[n-1]
+		l.holdPool[n-1] = nil
+		l.holdPool = l.holdPool[:n-1]
+		return h
+	}
+	return new(lockHold)
+}
+
 // Hold records that owner holds [start, end) in the given mode until
-// release. The returned handle releases it eagerly.
-func (l *RangeLocks) Hold(start, end int64, mode LockMode, owner int, release sim.Time) *Hold {
-	h := &lockHold{mode: mode, owner: owner, release: release}
+// release. The returned handle releases it eagerly; callers that rely on
+// lazy pruning may discard it (the common path), which keeps the hold
+// bookkeeping allocation-free.
+func (l *RangeLocks) Hold(start, end int64, mode LockMode, owner int, release sim.Time) Hold {
+	h := l.getHold()
+	h.mode, h.owner, h.release = mode, owner, release
 	l.tree.Insert(rbtree.Item{Start: start, End: end, Value: h})
-	return &Hold{locks: l, start: start, end: end, h: h}
+	return Hold{locks: l, start: start, end: end, h: h}
 }
 
 // Hold is an acquired range-lock handle.
@@ -89,8 +129,15 @@ type Hold struct {
 }
 
 // Release drops the hold immediately (lazy pruning otherwise removes it
-// after its release time passes).
-func (h *Hold) Release() { h.locks.tree.Delete(h.start, h.end, h.h) }
+// after its release time passes). Releasing a handle whose hold already
+// expired and was pruned is a no-op only if the hold has not been recycled
+// for a new range since; eager releases should happen before the release
+// time passes.
+func (h Hold) Release() {
+	if h.locks.tree.Delete(h.start, h.end, h.h) {
+		h.locks.holdPool = append(h.locks.holdPool, h.h)
+	}
+}
 
 // Conflicts returns how many grants had to wait, and Waited the total delay.
 func (l *RangeLocks) Conflicts() int64 { return l.conflicts }

@@ -65,6 +65,13 @@ type Visor struct {
 
 	journalCursor int64
 	stats         Stats
+
+	// Reused hot-path scratch: composeBuf backs the read-modify-write of
+	// functional sub-group writes; migrateScratch collects a GC victim's
+	// valid groups. Both live for the Visor's lifetime so the per-screen
+	// and per-reclaim paths stay allocation-free.
+	composeBuf     []byte
+	migrateScratch []MigratePair
 }
 
 // New wires a Visor over the controller complex and memories.
@@ -130,6 +137,20 @@ func (v *Visor) StartupLatency() units.Duration {
 // translates each group, and issues device reads; the data lands in DDR3L.
 // It returns the completion time and, for functional backbones, the bytes.
 func (v *Visor) MapRead(at sim.Time, owner int, addr, bytes int64) (sim.Time, []byte, error) {
+	return v.MapReadInto(at, owner, addr, bytes, nil)
+}
+
+// MapReadInto is MapRead with a caller-provided destination buffer: when the
+// backbone is functional and dst has capacity for the section, the payload
+// lands in dst instead of a fresh allocation (the per-screen reuse path).
+//
+// Physically contiguous runs of groups — the common case after sequential
+// population — are processed as batches: the whole run's translation work is
+// charged to the Flashvisor LWP and scratchpad as one analytic reservation
+// each, and crosses into the controller complex once. The per-resource
+// request sequence is identical to the per-group loop, so timing is
+// bit-for-bit unchanged; only the bookkeeping cost shrinks.
+func (v *Visor) MapReadInto(at sim.Time, owner int, addr, bytes int64, dst []byte) (sim.Time, []byte, error) {
 	if bytes <= 0 {
 		return at, nil, fmt.Errorf("flashvisor: non-positive read size %d", bytes)
 	}
@@ -144,26 +165,50 @@ func (v *Visor) MapRead(at sim.Time, owner int, addr, bytes int64) (sim.Time, []
 	var data []byte
 	functional := v.ctrl.BB.Functional
 	if functional {
-		data = make([]byte, bytes)
+		if int64(cap(dst)) >= bytes {
+			data = dst[:bytes]
+			clear(data)
+		} else {
+			data = make([]byte, bytes)
+		}
 	}
 	done := grant
-	for lg := lo; lg < hi; lg++ {
-		_, issued := v.cpu.Reserve(grant, v.Cfg.PerGroupCost)
-		v.spad.Access(issued, 4) // table-entry fetch
+	gs := v.Geo.GroupSize()
+	cost := v.Cfg.PerGroupCost
+	for lg := lo; lg < hi; {
 		pg, ok := v.FTL.Lookup(lg)
 		if !ok {
+			// Charge the failed translation exactly as the per-group loop
+			// did — queue pop and table walk happen before the miss.
+			_, issued := v.cpu.Reserve(grant, cost)
+			v.spad.Access(issued, 4)
 			v.stats.UnmappedReads++
 			return at, nil, fmt.Errorf("flashvisor: kernel %d read of unmapped group %d", owner, lg)
 		}
-		ready := v.ctrl.ReadGroup(issued, pg)
-		landed := v.ddr.Access(ready, v.Geo.GroupSize())
-		if landed > done {
-			done = landed
+		// Extend the physically contiguous run starting at (lg, pg).
+		n := int64(1)
+		for lg+n < hi {
+			next, ok := v.FTL.Lookup(lg + n)
+			if !ok || next != pg+flash.PhysGroup(n) {
+				break
+			}
+			n++
 		}
-		v.stats.ReadGroups++
-		if functional {
-			copyGroupOut(data, addr, bytes, lg, v.Geo.GroupSize(), v.ctrl.BB.Load(pg))
-		}
+		runStart, _ := v.cpu.ReserveN(grant, cost, int(n))
+		first := runStart + cost // issue time of the run's first group
+		v.spad.AccessUniform(first, cost, int(n), 4)
+		base := lg
+		v.ctrl.ReadGroupsSeq(first, cost, pg, int(n), func(i int, ready sim.Time) {
+			landed := v.ddr.Access(ready, gs)
+			if landed > done {
+				done = landed
+			}
+			if functional {
+				copyGroupOut(data, addr, bytes, base+int64(i), gs, v.ctrl.BB.Load(pg+flash.PhysGroup(i)))
+			}
+		})
+		v.stats.ReadGroups += n
+		lg += n
 	}
 	v.Lock.Hold(llo, lhi, LockRead, owner, done)
 	return done, data, nil
@@ -187,13 +232,52 @@ func (v *Visor) MapWrite(at sim.Time, owner int, addr, bytes int64, data []byte)
 	grant := v.Lock.Grant(deliver, llo, lhi, LockWrite)
 
 	done := grant
-	for lg := lo; lg < hi; lg++ {
-		_, issued := v.cpu.Reserve(grant, v.Cfg.PerGroupCost)
+	gs := v.Geo.GroupSize()
+	cost := v.Cfg.PerGroupCost
+	functional := v.ctrl.BB.Functional
+	for lg := lo; lg < hi; {
+		// Fast path: while the log head can absorb a run of allocations
+		// with no rollover (hence no journal) and no reclaim, the run's
+		// translation work batches into one LWP and one scratchpad
+		// reservation, exactly like the read path.
+		if n := int64(v.FTL.AllocRunLen(int(hi - lg))); n > 0 {
+			runStart, _ := v.cpu.ReserveN(grant, cost, int(n))
+			first := runStart + cost
+			v.spad.AccessUniform(first, cost, int(n), 4)
+			for i := int64(0); i < n; i++ {
+				issued := first + sim.Duration(i)*cost
+				var payload []byte
+				if functional {
+					payload = v.composeGroup(lg+i, addr, bytes, data)
+				}
+				pg, rolled, err := v.FTL.Alloc(false)
+				if err != nil || rolled {
+					return at, fmt.Errorf("flashvisor: allocation run diverged at group %d (rolled=%v, err=%v)", lg+i, rolled, err)
+				}
+				if err := v.FTL.Commit(lg+i, pg); err != nil {
+					return at, err
+				}
+				buffered := v.ddr.Access(issued, gs)
+				v.ctrl.ProgramGroupBuffered(buffered, pg) // drains behind reads
+				if buffered > done {
+					done = buffered
+				}
+				v.stats.WriteGroups++
+				if payload != nil {
+					v.ctrl.BB.Store(pg, payload)
+				}
+			}
+			lg += n
+			continue
+		}
+		// Slow path: the next allocation rolls the log head over or needs
+		// a foreground reclaim; process this one group at full fidelity.
+		_, issued := v.cpu.Reserve(grant, cost)
 		v.spad.Access(issued, 4)
 		// Partial-group writes must preserve the untouched bytes of the
 		// old version, so capture it before the mapping moves.
 		var payload []byte
-		if v.ctrl.BB.Functional {
+		if functional {
 			payload = v.composeGroup(lg, addr, bytes, data)
 		}
 		pg, rolled, err := v.FTL.Alloc(false)
@@ -214,7 +298,7 @@ func (v *Visor) MapWrite(at sim.Time, owner int, addr, bytes int64, data []byte)
 		if err := v.FTL.Commit(lg, pg); err != nil {
 			return at, err
 		}
-		buffered := v.ddr.Access(issued, v.Geo.GroupSize())
+		buffered := v.ddr.Access(issued, gs)
 		v.ctrl.ProgramGroupBuffered(buffered, pg) // drains behind reads
 		if buffered > done {
 			done = buffered
@@ -223,6 +307,7 @@ func (v *Visor) MapWrite(at sim.Time, owner int, addr, bytes int64, data []byte)
 		if payload != nil {
 			v.ctrl.BB.Store(pg, payload)
 		}
+		lg++
 	}
 	v.Lock.Hold(llo, lhi, LockWrite, owner, done)
 	return done, nil
@@ -233,10 +318,11 @@ func (v *Visor) MapWrite(at sim.Time, owner int, addr, bytes int64, data []byte)
 // in its first pages.
 func (v *Visor) journalActive(at sim.Time, pg flash.PhysGroup) {
 	sb := v.FTL.ActiveSuperBlock(pg)
-	groups := v.Geo.GroupsOf(sb)
+	meta, step := v.Geo.GroupSpan(sb)
 	for p := 0; p < v.Geo.MetaPages; p++ {
-		v.ctrl.ProgramGroup(at, groups[p])
+		v.ctrl.ProgramGroup(at, meta)
 		v.stats.JournalWrites++
+		meta += flash.PhysGroup(step)
 	}
 }
 
@@ -305,7 +391,8 @@ func (v *Visor) Reclaim(at sim.Time, lwpRes *sim.Resource, greedy bool) (sim.Tim
 		return at, fmt.Errorf("flashvisor: no reclaimable super blocks")
 	}
 	t := at
-	for _, pair := range v.FTL.ValidGroups(sb) {
+	v.migrateScratch = v.FTL.AppendValidGroups(v.migrateScratch[:0], sb)
+	for _, pair := range v.migrateScratch {
 		// Lock the logical group against kernel access during the move.
 		grant := v.Lock.Grant(t, pair.Logical, pair.Logical+1, LockWrite)
 		_, issued := lwpRes.Reserve(grant, v.Cfg.PerGroupCost)
@@ -365,10 +452,15 @@ func (v *Visor) Populate(addr, bytes int64, data []byte) error {
 // composeGroup builds the full 64 KB payload of logical group lg after
 // overlaying the byte range [addr, addr+bytes) from data (nil data writes
 // zeros): the read-modify-write a sub-group write needs to keep the rest of
-// the group intact.
+// the group intact. The returned buffer is the Visor's reusable scratch —
+// valid until the next composeGroup call; Backbone.Store copies it.
 func (v *Visor) composeGroup(lg int64, addr, bytes int64, data []byte) []byte {
 	gs := v.Geo.GroupSize()
-	buf := make([]byte, gs)
+	if int64(cap(v.composeBuf)) < gs {
+		v.composeBuf = make([]byte, gs)
+	}
+	buf := v.composeBuf[:gs]
+	clear(buf)
 	if old, ok := v.FTL.Lookup(lg); ok {
 		copy(buf, v.ctrl.BB.Load(old))
 	}

@@ -77,6 +77,13 @@ func (m *Memory) Access(at sim.Time, n int64) sim.Time {
 	return end
 }
 
+// AccessUniform books cnt transfers of n bytes each, the i'th requested at
+// at+i*stride, in one frontier update (see Pipe.TransferUniform). It returns
+// when the last completes.
+func (m *Memory) AccessUniform(at sim.Time, stride sim.Duration, cnt int, n int64) sim.Time {
+	return m.pipe.TransferUniform(at, stride, cnt, n)
+}
+
 // Alloc carves a named region from the top of the device. It fails when the
 // device is full — the condition that forces low-power accelerators to split
 // work into multiple kernels (paper §3).

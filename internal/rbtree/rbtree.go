@@ -30,9 +30,38 @@ type node struct {
 }
 
 // Tree is an augmented interval tree. The zero value is an empty tree.
+// Deleted nodes are recycled through a freelist, so steady-state churn
+// (the lock manager holds and prunes ranges millions of times per run)
+// does not allocate.
 type Tree struct {
 	root *node
 	size int
+	pool []*node
+}
+
+// newNode returns a recycled or fresh node initialized with one item.
+func (t *Tree) newNode(it Item, parent *node, c color) *node {
+	if n := len(t.pool); n > 0 {
+		nd := t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+		nd.items = append(nd.items[:0], it)
+		nd.start, nd.maxEnd = it.Start, it.End
+		nd.c = c
+		nd.left, nd.right, nd.parent = nil, nil, parent
+		return nd
+	}
+	return &node{items: []Item{it}, start: it.Start, maxEnd: it.End, c: c, parent: parent}
+}
+
+// recycle clears a detached node and returns it to the freelist.
+func (t *Tree) recycle(nd *node) {
+	for i := range nd.items {
+		nd.items[i] = Item{} // drop payload references
+	}
+	nd.items = nd.items[:0]
+	nd.left, nd.right, nd.parent = nil, nil, nil
+	t.pool = append(t.pool, nd)
 }
 
 // Len returns the number of stored intervals.
@@ -116,7 +145,7 @@ func (t *Tree) rotateRight(x *node) {
 func (t *Tree) Insert(it Item) {
 	t.size++
 	if t.root == nil {
-		t.root = &node{items: []Item{it}, start: it.Start, maxEnd: it.End, c: black}
+		t.root = t.newNode(it, nil, black)
 		return
 	}
 	cur := t.root
@@ -128,7 +157,7 @@ func (t *Tree) Insert(it Item) {
 		}
 		if it.Start < cur.start {
 			if cur.left == nil {
-				cur.left = &node{items: []Item{it}, start: it.Start, maxEnd: it.End, parent: cur}
+				cur.left = t.newNode(it, cur, red)
 				t.fixMaxUp(cur.left)
 				t.insertFix(cur.left)
 				return
@@ -136,7 +165,7 @@ func (t *Tree) Insert(it Item) {
 			cur = cur.left
 		} else {
 			if cur.right == nil {
-				cur.right = &node{items: []Item{it}, start: it.Start, maxEnd: it.End, parent: cur}
+				cur.right = t.newNode(it, cur, red)
 				t.fixMaxUp(cur.right)
 				t.insertFix(cur.right)
 				return
@@ -259,6 +288,7 @@ func (t *Tree) deleteNode(z *node) {
 	if yColor == black {
 		t.deleteFix(x, xParent)
 	}
+	t.recycle(z)
 }
 
 func (t *Tree) transplant(u, v *node) {

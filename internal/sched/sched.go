@@ -130,18 +130,25 @@ func (d *interDy) Kick(ctx Context) {
 }
 
 func (d *interDy) claimNext(ctx Context) *kernel.Kernel {
-	taken := make(map[*kernel.Kernel]bool, len(d.claimed))
-	for _, k := range d.claimed {
-		if k != nil && !k.Done() {
-			taken[k] = true
-		}
-	}
-	for _, k := range ctx.Chain().Kernels() {
-		if !k.Done() && !taken[k] {
-			return k
+	for _, a := range ctx.Chain().Apps {
+		for _, k := range a.Kernels {
+			if !k.Done() && !d.taken(k) {
+				return k
+			}
 		}
 	}
 	return nil
+}
+
+// taken reports whether another worker already owns k. The claim map is at
+// most one entry per worker, so a scan beats building a set on every kick.
+func (d *interDy) taken(k *kernel.Kernel) bool {
+	for _, c := range d.claimed {
+		if c == k && !c.Done() {
+			return true
+		}
+	}
+	return false
 }
 
 // intra implements both intra-kernel schedulers: screens of ready
@@ -183,10 +190,13 @@ func (*simd) Name() string { return "SIMD" }
 
 func (s *simd) Kick(ctx Context) {
 	var active *kernel.Kernel
-	for _, k := range ctx.Chain().Kernels() {
-		if !k.Done() {
-			active = k
-			break
+outer:
+	for _, a := range ctx.Chain().Apps {
+		for _, k := range a.Kernels {
+			if !k.Done() {
+				active = k
+				break outer
+			}
 		}
 	}
 	if active == nil {

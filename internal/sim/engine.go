@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
@@ -28,33 +27,34 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq): time first, then scheduling order, which
+// is the documented same-timestamp FIFO guarantee.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event simulation loop.
 // The zero value is ready to use.
+//
+// The pending queue is a concrete-typed 4-ary min-heap: compared to the
+// earlier container/heap implementation, pushes and pops move event values
+// directly in the backing slice (no interface{} boxing, so steady-state
+// scheduling does not allocate) and the shallower tree roughly halves the
+// sift depth for the queue sizes a device run reaches.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
-	count  uint64 // total events executed
+	events []event // 4-ary min-heap ordered by (at, seq)
+	count  uint64  // total events executed
 }
+
+// heapArity is the fan-out of the event heap. Children of node i live at
+// heapArity*i+1 .. heapArity*i+heapArity; the parent of node i is
+// (i-1)/heapArity.
+const heapArity = 4
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -72,7 +72,12 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: at, seq: e.seq, fn: fn})
+	// Common fast path: events usually land at or after their parent (the
+	// device mostly schedules completions ahead of the frontier), so the
+	// sift-up below terminates after a single comparison and the push costs
+	// one append with no allocation.
+	e.siftUp(len(e.events) - 1)
 }
 
 // After enqueues fn to run d nanoseconds from now.
@@ -83,12 +88,65 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !ev.before(&e.events[p]) {
+			break
+		}
+		e.events[i] = e.events[p]
+		i = p
+	}
+	e.events[i] = ev
+}
+
+// siftDown re-heapifies from the root after a pop replaced it with the last
+// element.
+func (e *Engine) siftDown() {
+	n := len(e.events)
+	ev := e.events[0]
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		// Pick the smallest of up to heapArity children.
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.events[c].before(&e.events[min]) {
+				min = c
+			}
+		}
+		if !e.events[min].before(&ev) {
+			break
+		}
+		e.events[i] = e.events[min]
+		i = min
+	}
+	e.events[i] = ev
+}
+
 // Step executes the earliest pending event and reports whether one ran.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events[0]
+	n := len(e.events) - 1
+	if n > 0 {
+		e.events[0] = e.events[n]
+	}
+	e.events[n] = event{} // drop the fn reference for the GC
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown()
+	}
 	e.now = ev.at
 	e.count++
 	ev.fn()

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleStep measures the engine's steady-state event
+// cost: a self-rescheduling event chain, the shape device completions take.
+// The concrete-typed heap keeps this at zero allocations per event.
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	var e Engine
+	b.ReportAllocs()
+	var tick func()
+	tick = func() { e.After(100, tick) }
+	e.After(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleStepDeep measures push/pop against a deep queue
+// (4096 pending events) so the sift cost at realistic fan-out shows up.
+func BenchmarkEngineScheduleStepDeep(b *testing.B) {
+	var e Engine
+	b.ReportAllocs()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.Schedule(Time(i*37%4096)+1_000_000_000, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%1024), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkResourceReserveN measures the batched reservation against its
+// per-group equivalent.
+func BenchmarkResourceReserveN(b *testing.B) {
+	b.Run("loop-64", func(b *testing.B) {
+		r := NewResource("x")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for g := 0; g < 64; g++ {
+				r.Reserve(Time(i), 600)
+			}
+		}
+	})
+	b.Run("batched-64", func(b *testing.B) {
+		r := NewResource("x")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.ReserveN(Time(i), 600, 64)
+		}
+	})
+}

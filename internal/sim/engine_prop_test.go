@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// popOrderModel replays a schedule against the documented contract: events
+// fire in (at, seq) order, where seq is global scheduling order.
+type popRecord struct {
+	at  Time
+	seq int // order the event was scheduled in
+}
+
+// TestEngineHeapPropertyRandom drives the 4-ary heap with randomized
+// workloads — duplicate timestamps, same-time bursts, and events scheduled
+// from inside running events — and asserts every pop respects (at, seq)
+// order. This is the ordering contract the container/heap implementation
+// guaranteed and every hardware model depends on.
+func TestEngineHeapPropertyRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var got []popRecord
+		seq := 0
+
+		// schedule registers an event that records itself when it fires and,
+		// with some probability, schedules more events at or after now —
+		// including bursts at exactly the same timestamp.
+		var schedule func(at Time, depth int)
+		schedule = func(at Time, depth int) {
+			mySeq := seq
+			seq++
+			e.Schedule(at, func() {
+				got = append(got, popRecord{at: e.Now(), seq: mySeq})
+				if depth > 0 && rng.Intn(3) == 0 {
+					// Schedule-during-step: children land at now or later.
+					n := 1 + rng.Intn(3)
+					for i := 0; i < n; i++ {
+						schedule(e.Now()+Time(rng.Intn(5)), depth-1)
+					}
+				}
+			})
+		}
+
+		for i := 0; i < 200; i++ {
+			at := Time(rng.Intn(40)) // few distinct times → heavy same-time bursts
+			if rng.Intn(4) == 0 {
+				at = Time(rng.Intn(1000))
+			}
+			schedule(at, 2)
+		}
+		e.Run()
+
+		if len(got) != seq {
+			t.Fatalf("seed %d: ran %d events, scheduled %d", seed, len(got), seq)
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.at > b.at {
+				t.Fatalf("seed %d: pop %d at t=%d after t=%d — time order violated", seed, i, b.at, a.at)
+			}
+			if a.at == b.at && a.seq > b.seq {
+				t.Fatalf("seed %d: pop %d broke same-timestamp FIFO (seq %d before %d at t=%d)",
+					seed, i, a.seq, b.seq, a.at)
+			}
+		}
+	}
+}
+
+// TestEngineHeapDrainInterleaved interleaves scheduling with partial drains
+// (RunUntil) so the heap is exercised at many fill levels, not just
+// fill-then-drain.
+func TestEngineHeapDrainInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var e Engine
+	var fired []Time
+	for round := 0; round < 50; round++ {
+		base := e.Now()
+		for i := 0; i < 20; i++ {
+			at := base + Time(rng.Intn(100))
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunUntil(base + Time(rng.Intn(120)))
+	}
+	e.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i-1] > fired[i] {
+			t.Fatalf("event %d fired at %d after %d", i, fired[i], fired[i-1])
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events stranded in the queue", e.Pending())
+	}
+}

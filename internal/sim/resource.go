@@ -52,6 +52,30 @@ func (r *Resource) Reserve(at Time, d Duration) (start, end Time) {
 	return start, end
 }
 
+// ReserveN books n back-to-back reservations of d each, all requested at
+// time at, and returns the start of the first and the end of the last. It is
+// exactly equivalent to calling Reserve(at, d) n times — after the first
+// reservation the frontier is at or past `at`, so the rest are contiguous —
+// but performs one frontier update. The i'th reservation (0-based) occupies
+// [start+i*d, start+(i+1)*d).
+func (r *Resource) ReserveN(at Time, d Duration, n int) (start, end Time) {
+	if n <= 0 || d <= 0 {
+		s := units.MaxTime(at, r.free)
+		return s, s
+	}
+	start = units.MaxTime(at, r.free)
+	end = start + Duration(n)*d
+	r.free = end
+	r.busy += Duration(n) * d
+	r.reserve += uint64(n)
+	if r.logOn {
+		for i := 0; i < n; i++ {
+			r.log = append(r.log, Interval{Start: start + Duration(i)*d, End: start + Duration(i+1)*d, Tag: r.logTag})
+		}
+	}
+	return start, end
+}
+
 // ReserveAtOrAfter is Reserve with an additional earliest-start constraint,
 // used when an upstream dependency (for example a range-lock grant) delays
 // the work beyond the request time.
@@ -110,6 +134,50 @@ func (p *Pipe) Transfer(at Time, n int64) (start, end Time) {
 	start, end = p.res.Reserve(at+p.Latency, d)
 	p.bytes += n
 	return start, end
+}
+
+// TransferUniform books n transfers of nb bytes each, the i'th requested at
+// at+i*stride, and returns the completion time of the last. It is exactly
+// equivalent to n Transfer calls at those request times — the FIFO frontier
+// recurrence f_i = max(f_{i-1}, t_i) + d has a closed form when the request
+// times are uniformly spaced — but performs one frontier update. Callers use
+// it to charge a span of identical per-group costs in one reservation.
+func (p *Pipe) TransferUniform(at Time, stride Duration, n int, nb int64) (end Time) {
+	if n <= 0 {
+		return at
+	}
+	if n == 1 || p.res.logOn {
+		// Preserve exact per-interval logs when logging is on.
+		for i := 0; i < n; i++ {
+			_, end = p.Transfer(at+Duration(i)*stride, nb)
+		}
+		return end
+	}
+	if nb <= 0 {
+		return at + Duration(n-1)*stride
+	}
+	d := p.BW.DurationFor(nb)
+	p.bytes += int64(n) * nb
+	if d <= 0 {
+		return at + Duration(n-1)*stride
+	}
+	first := at + p.Latency
+	last := first + Duration(n-1)*stride
+	nd := Duration(n) * d
+	// With stride >= d every transfer starts at its own request time once
+	// the pipe catches up; with stride < d the pipe saturates and drains
+	// back-to-back from the first request.
+	var tail Time
+	if stride >= d {
+		tail = last + d
+	} else {
+		tail = first + nd
+	}
+	end = units.MaxTime(p.res.free+nd, tail)
+	p.res.free = end
+	p.res.busy += nd
+	p.res.reserve += uint64(n)
+	return end
 }
 
 // Busy returns the total time the pipe carried data.

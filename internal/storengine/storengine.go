@@ -61,6 +61,7 @@ type Engine struct {
 	stats   Stats
 	stopped bool
 	lastJnl sim.Time
+	tickFn  func() // e.tick bound once, so rescheduling does not allocate
 }
 
 // New builds a Storengine over the visor's FTL and controllers.
@@ -73,7 +74,9 @@ func New(cfg Config, eng *sim.Engine, visor *flashvisor.Visor) (*Engine, error) 
 			return nil, fmt.Errorf("storengine: GC threshold %d < 1", cfg.GCThreshold)
 		}
 	}
-	return &Engine{Cfg: cfg, eng: eng, visor: visor, cpu: sim.NewResource("storengine-lwp")}, nil
+	e := &Engine{Cfg: cfg, eng: eng, visor: visor, cpu: sim.NewResource("storengine-lwp")}
+	e.tickFn = e.tick
+	return e, nil
 }
 
 // Start schedules the periodic background scan. It is a no-op when the
@@ -82,7 +85,7 @@ func (e *Engine) Start() {
 	if !e.Cfg.Enabled {
 		return
 	}
-	e.eng.After(e.Cfg.ScanPeriod, e.tick)
+	e.eng.After(e.Cfg.ScanPeriod, e.tickFn)
 }
 
 // Stop halts rescheduling; an in-flight tick completes harmlessly.
@@ -116,7 +119,7 @@ func (e *Engine) tick() {
 		e.journal(now)
 	}
 
-	e.eng.After(e.Cfg.ScanPeriod, e.tick)
+	e.eng.After(e.Cfg.ScanPeriod, e.tickFn)
 }
 
 // journal charges the scratchpad read and the flash programs for one

@@ -189,14 +189,23 @@ const groupSize = 64 * units.KB
 
 func groupAlign(n int64) int64 { return (n + groupSize - 1) / groupSize * groupSize }
 
-// layout assigns flash addresses: inputs grow from zero, outputs from the
-// top half of the logical space downward-safe region.
+// layout assigns flash addresses: inputs grow from zero, outputs from
+// outputBase upward. Both regions must fit the ~29.5 GiB logical space the
+// default geometry exposes after over-provisioning and GC slack.
 type layout struct {
 	inCursor  int64
 	outCursor int64
 }
 
-func newLayout() *layout { return &layout{outCursor: 24 * units.GB} }
+// outputBase is where output regions start. The worst-case paper-scale
+// bundle (MX14: four instances each of six large-output applications) packs
+// ~8.8 GiB of shared inputs below it and ~14.2 GiB of outputs above it, so
+// 12 GiB keeps both inside the logical space at every scale — the previous
+// 24 GiB base pushed low-scale mix outputs past the logical end.
+// A regression test in workload_layout_test.go pins both bounds.
+const outputBase = 12 * units.GB
+
+func newLayout() *layout { return &layout{outCursor: outputBase} }
 
 func (l *layout) input(bytes int64) int64 {
 	a := l.inCursor
@@ -387,6 +396,24 @@ func bundleReadBytes(t *kdt.Table) int64 {
 	return n
 }
 
+// Sensitivity kernel constants: total instruction budget at paper scale and
+// the B/KI that calibrates Fig. 3's ~4.5 GB/s eight-core ceiling.
+const (
+	sensitivityInstr = int64(8e9)
+	sensitivityBKI   = 127.0
+)
+
+// SensitivityNominal returns the nominal processed bytes of the Fig. 3
+// kernel at the given options — the Sensitivity return value — without
+// synthesizing the bundle, so figure assembly can normalize cached runs.
+func SensitivityNominal(o Options) (int64, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return 0, err
+	}
+	return int64(float64(sensitivityInstr/o.Scale) * sensitivityBKI / 1000), nil
+}
+
 // Sensitivity builds the Fig. 3b/3c synthetic kernel: a compute stream in
 // which serialPct percent of the instructions sit in serial microblocks and
 // the rest split across `screens`-way parallel microblocks. It returns the
@@ -403,10 +430,8 @@ func Sensitivity(serialPct int, screens int, o Options) (*Bundle, int64, error) 
 	if err != nil {
 		return nil, 0, err
 	}
-	const totalInstr = int64(8e9)
-	instr := totalInstr / o.Scale
-	const bki = 127.0
-	nominalBytes := int64(float64(instr) * bki / 1000)
+	instr := sensitivityInstr / o.Scale
+	nominalBytes := int64(float64(instr) * sensitivityBKI / 1000)
 
 	tab := &kdt.Table{Name: fmt.Sprintf("serial%d", serialPct), Sections: kdt.DefaultSections(0, 0)}
 	mix := kdt.Op{Kind: kdt.OpCompute, MulMilli: 150, LdStMilli: 300}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/flashvisor"
+	"repro/internal/kdt"
+)
+
+// logicalBytes returns the logical flash capacity of the default device, the
+// bound every synthesized address must respect.
+func logicalBytes(t *testing.T) int64 {
+	t.Helper()
+	ftl, err := flashvisor.NewFTL(flash.DefaultGeometry(), flashvisor.DefaultConfig().OverProvision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ftl.LogicalBytes()
+}
+
+// maxAddr returns the highest byte address past the end of any populate
+// range or READ/WRITE op in the bundle.
+func maxAddr(b *Bundle) int64 {
+	var top int64
+	for _, r := range b.Populate {
+		if end := r.Addr + r.Bytes; end > top {
+			top = end
+		}
+	}
+	for _, app := range b.Apps {
+		for _, tab := range app.Tables {
+			for _, mb := range tab.Microblocks {
+				for _, s := range mb.Screens {
+					for _, op := range s.Ops {
+						if op.Kind != kdt.OpRead && op.Kind != kdt.OpWrite {
+							continue
+						}
+						if end := op.FlashAddr + op.Bytes; end > top {
+							top = end
+						}
+					}
+				}
+			}
+		}
+	}
+	return top
+}
+
+// TestWorkloadsFitLogicalSpaceAtPaperScale is the regression test for the
+// seed bug where low-scale mixes wrote past the logical flash space
+// ("fig10b: MX3/InterSt: flashvisor: write [483740,484380) beyond logical
+// space" at -scale 1): every bundle the evaluation can run, at the failing
+// scales 1 and 2, must address only the logical capacity the default
+// geometry exposes.
+func TestWorkloadsFitLogicalSpaceAtPaperScale(t *testing.T) {
+	logical := logicalBytes(t)
+	for _, scale := range []int64{1, 2} {
+		o := DefaultOptions()
+		o.Scale = scale
+		for n := 1; n <= MixCount; n++ {
+			b, err := Mix(n, o)
+			if err != nil {
+				t.Fatalf("scale %d MX%d: %v", scale, n, err)
+			}
+			if top := maxAddr(b); top > logical {
+				t.Errorf("scale %d MX%d: top address %d exceeds logical space %d", scale, n, top, logical)
+			}
+		}
+		for _, name := range append(Names(), BigdataNames()...) {
+			b, err := Homogeneous(name, o)
+			if err != nil {
+				t.Fatalf("scale %d %s: %v", scale, name, err)
+			}
+			if top := maxAddr(b); top > logical {
+				t.Errorf("scale %d %s: top address %d exceeds logical space %d", scale, name, top, logical)
+			}
+		}
+	}
+}
+
+// TestLayoutInputsStayBelowOutputs pins the second half of the layout
+// invariant: shared input regions never collide with the output region of
+// any instance, even for the mix with the largest input footprint.
+func TestLayoutInputsStayBelowOutputs(t *testing.T) {
+	o := DefaultOptions() // scale 1 = paper scale, the worst case
+	for n := 1; n <= MixCount; n++ {
+		b, err := Mix(n, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inTop int64
+		for _, r := range b.Populate {
+			if end := r.Addr + r.Bytes; end > inTop {
+				inTop = end
+			}
+		}
+		if inTop > outputBase {
+			t.Errorf("MX%d: inputs reach %d, past the output base %d", n, inTop, outputBase)
+		}
+	}
+}
