@@ -404,7 +404,39 @@ func BenchmarkAblationGCPolicy(b *testing.B) {
 	}
 }
 
-// itoa avoids pulling strconv into the bench file for one call site.
+// BenchmarkClusterScaling runs the host-level scale-out path at 1/2/4/8
+// cards under both dispatch policies and reports the aggregate MB/s, so the
+// CI bench artifact tracks multi-device throughput alongside the
+// single-device figures.
+func BenchmarkClusterScaling(b *testing.B) {
+	for _, policy := range []Policy{RoundRobin, WorkSteal} {
+		policy := policy
+		name := "round-robin"
+		if policy == WorkSteal {
+			name = "work-steal"
+		}
+		for _, devices := range []int{1, 2, 4, 8} {
+			devices := devices
+			b.Run(name+"/devices="+itoa(devices), func(b *testing.B) {
+				bundle, err := Mix(1, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := RunCluster(context.Background(), IntraO3, devices, policy, bundle)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(r.ThroughputMBps(), "MB/s")
+				}
+			})
+		}
+	}
+}
+
+// itoa avoids pulling strconv into the bench file.
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

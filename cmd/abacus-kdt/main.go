@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,14 +18,37 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	build := flag.String("build", "", "assemble a table for this Table 2 application")
-	out := flag.String("out", "", "output file for -build")
-	dump := flag.String("dump", "", "decode and print a .kdt file")
-	scale := flag.Int64("scale", 16, "input-size divisor for -build")
-	flag.Parse()
+// options holds the parsed command line.
+type options struct {
+	build string
+	out   string
+	dump  string
+	scale int64
+}
 
-	if err := run(*build, *out, *dump, *scale); err != nil {
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("abacus-kdt", flag.ContinueOnError)
+	fs.StringVar(&o.build, "build", "", "assemble a table for this Table 2 application")
+	fs.StringVar(&o.out, "out", "", "output file for -build")
+	fs.StringVar(&o.dump, "dump", "", "decode and print a .kdt file")
+	fs.Int64Var(&o.scale, "scale", 16, "input-size divisor for -build")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	if err := run(o.build, o.out, o.dump, o.scale); err != nil {
 		fmt.Fprintln(os.Stderr, "abacus-kdt:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.build != "" || o.out != "" || o.dump != "" || o.scale != 16 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+
+	o, err = parseFlags([]string{"-build", "ATAX", "-out", "x.kdt", "-scale", "128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.build != "ATAX" || o.out != "x.kdt" || o.scale != 128 {
+		t.Errorf("unexpected parse: %+v", o)
+	}
+
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// Build a table, then dump it back: the round trip exercises encode, file
+// IO, decode, and the printer.
+func TestBuildThenDump(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "atax.kdt")
+	if err := run("ATAX", out, "", 512); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty table written")
+	}
+
+	stdout := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	dumpErr := run("", "", out, 512)
+	w.Close()
+	os.Stdout = stdout
+	if dumpErr != nil {
+		t.Fatal(dumpErr)
+	}
+	printed := make([]byte, 1<<16)
+	n, _ := r.Read(printed)
+	for _, want := range []string{"kernel", "microblock", "READ"} {
+		if !strings.Contains(string(printed[:n]), want) {
+			t.Errorf("dump output lacks %q", want)
+		}
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if err := run("", "", "", 16); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run("NOPE", filepath.Join(t.TempDir(), "x.kdt"), "", 16); err == nil {
+		t.Error("unknown application accepted")
+	}
+	if err := run("", "", filepath.Join(t.TempDir(), "missing.kdt"), 16); err == nil {
+		t.Error("missing dump file accepted")
+	}
+}

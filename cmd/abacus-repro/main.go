@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-list]
+//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-devices N] [-list]
 //
 // scale divides the Table 2 input sizes (1 = paper scale; the default 16
 // finishes in well under a minute). jobs bounds how many independent device
 // simulations run concurrently (default: one per available core); because
 // results are keyed by experiment cell rather than completion order, the
-// printed output is byte-identical whatever the jobs count. -list prints
-// the experiment ids. A SIGINT/SIGTERM cancels the run cleanly.
+// printed output is byte-identical whatever the jobs count. devices caps
+// the cluster scaling experiment's card sweep; at the default 1 the
+// cluster experiment is left out of 'all' and the output matches the
+// single-device evaluation exactly. -list prints the experiment ids. A
+// SIGINT/SIGTERM cancels the run cleanly.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -102,6 +106,7 @@ func experimentList() []experiment {
 		}},
 		{"fig16a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16a(ctx)) }},
 		{"fig16b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16b(ctx)) }},
+		{"cluster", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Cluster(ctx) }},
 	}
 }
 
@@ -117,6 +122,7 @@ func main() {
 	scale := flag.Int64("scale", 16, "divide Table 2 input sizes by this factor (1 = paper scale)")
 	exp := flag.String("experiment", "all", "experiment id or 'all' (see -list)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent device simulations (1 = fully sequential)")
+	devices := flag.Int("devices", 1, "max cards in the cluster scaling experiment (1 leaves it out of 'all')")
 	list := flag.Bool("list", false, "print the experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -144,7 +150,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *scale, *exp, *jobs)
+	err := run(ctx, *scale, *exp, *jobs, *devices)
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr != nil {
@@ -166,7 +172,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, scale int64, exp string, jobs int) error {
+func run(ctx context.Context, scale int64, exp string, jobs, devices int) error {
+	if devices < 1 || devices > core.MaxDevices {
+		return fmt.Errorf("-devices %d outside [1,%d]", devices, core.MaxDevices)
+	}
 	all := experimentList()
 	sel := all
 	if exp != "all" {
@@ -179,10 +188,20 @@ func run(ctx context.Context, scale int64, exp string, jobs int) error {
 		if sel == nil {
 			return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(ids(), " "))
 		}
+	} else if devices == 1 {
+		// The cluster scaling experiment is opt-in: without -devices the
+		// full run prints exactly the pre-cluster evaluation.
+		sel = nil
+		for _, e := range all {
+			if e.id != "cluster" {
+				sel = append(sel, e)
+			}
+		}
 	}
 
 	s := experiments.NewSuite(scale)
 	s.Workers = jobs
+	s.MaxDevices = devices
 
 	// The leading simulation-free tables print immediately — a paper-scale
 	// cache fill below can run for minutes and t1/t2/mixes need no device
@@ -217,7 +236,7 @@ func run(ctx context.Context, scale int64, exp string, jobs int) error {
 		for _, e := range sel {
 			selIDs = append(selIDs, e.id)
 		}
-		if err := s.Prewarm(ctx, experiments.CellsFor(selIDs)); err != nil && runner.IsCancellation(err) {
+		if err := s.Prewarm(ctx, s.CellsFor(selIDs)); err != nil && runner.IsCancellation(err) {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,14 +21,37 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	sysName := flag.String("system", "IntraO3", "SIMD, InterSt, InterDy, IntraIo, or IntraO3")
-	wl := flag.String("workload", "ATAX", "Table 2 app, MX1..MX14, or bfs/wc/nn/nw/path")
-	scale := flag.Int64("scale", 16, "divide input sizes by this factor")
-	verbose := flag.Bool("v", false, "print per-kernel latencies and component energy")
-	flag.Parse()
+// options holds the parsed command line.
+type options struct {
+	system   string
+	workload string
+	scale    int64
+	verbose  bool
+}
 
-	if err := run(*sysName, *wl, *scale, *verbose); err != nil {
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("abacus-sim", flag.ContinueOnError)
+	fs.StringVar(&o.system, "system", "IntraO3", "SIMD, InterSt, InterDy, IntraIo, or IntraO3")
+	fs.StringVar(&o.workload, "workload", "ATAX", "Table 2 app, MX1..MX14, or bfs/wc/nn/nw/path")
+	fs.Int64Var(&o.scale, "scale", 16, "divide input sizes by this factor")
+	fs.BoolVar(&o.verbose, "v", false, "print per-kernel latencies and component energy")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	if err := run(o.system, o.workload, o.scale, o.verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "abacus-sim:", err)
 		os.Exit(1)
 	}

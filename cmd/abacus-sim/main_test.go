@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.system != "IntraO3" || o.workload != "ATAX" || o.scale != 16 || o.verbose {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+
+	o, err = parseFlags([]string{"-system", "SIMD", "-workload", "MX3", "-scale", "64", "-v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.system != "SIMD" || o.workload != "MX3" || o.scale != 64 || !o.verbose {
+		t.Errorf("unexpected parse: %+v", o)
+	}
+
+	if _, err := parseFlags([]string{"-scale", "not-a-number"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	for _, tc := range []struct{ system, workload string }{
+		{"IntraO3", "ATAX"},
+		{"SIMD", "MX2"},
+		{"InterDy", "bfs"},
+	} {
+		if err := run(tc.system, tc.workload, 512, true); err != nil {
+			t.Errorf("%s/%s: %v", tc.system, tc.workload, err)
+		}
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if err := run("NoSuchSystem", "ATAX", 512, false); err == nil || !strings.Contains(err.Error(), "unknown system") {
+		t.Errorf("unknown system: err = %v", err)
+	}
+	if err := run("IntraO3", "MXbogus", 512, false); err == nil {
+		t.Error("bad mix name accepted")
+	}
+	if err := run("IntraO3", "MX99", 512, false); err == nil {
+		t.Error("out-of-range mix accepted")
+	}
+	if err := run("IntraO3", "NOPE", 512, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,43 @@
+// Cluster: shard heterogeneous mix MX1 across 1, 2, 4, and 8 simulated
+// FlashAbacus cards behind a shared host PCIe switch, comparing the two
+// host-level dispatch policies — static round-robin of applications (the
+// InterSt analogue) and dynamic work-stealing of kernel instances (the
+// InterDy analogue) — on aggregate throughput, makespan, and energy.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	flashabacus "repro"
+)
+
+func main() {
+	fmt.Println("== MX1 on IntraO3 cards: host-level scale-out ==")
+	fmt.Printf("%-12s %8s %12s %14s %10s %9s\n",
+		"policy", "devices", "MB/s", "makespan(ms)", "energy(J)", "speedup")
+	for _, policy := range []flashabacus.Policy{flashabacus.RoundRobin, flashabacus.WorkSteal} {
+		name := "round-robin"
+		if policy == flashabacus.WorkSteal {
+			name = "work-steal"
+		}
+		var base float64
+		for _, devices := range []int{1, 2, 4, 8} {
+			bundle, err := flashabacus.Mix(1, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := flashabacus.RunCluster(context.Background(), flashabacus.IntraO3, devices, policy, bundle)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tput := r.ThroughputMBps()
+			if devices == 1 {
+				base = tput
+			}
+			fmt.Printf("%-12s %8d %12.1f %14.1f %10.2f %8.2fx\n",
+				name, devices, tput, float64(r.Makespan)/1e6, r.Energy.Total(), tput/base)
+		}
+	}
+}

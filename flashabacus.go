@@ -26,7 +26,10 @@ package flashabacus
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kdt"
@@ -75,28 +78,48 @@ type Bundle = workload.Bundle
 // offloads (paper §4 "Kernel").
 type Table = kdt.Table
 
+// options applies the public scale knob to the default synthesis options —
+// the one place the facade builds workload.Options.
+func options(scale int64) workload.Options {
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	return o
+}
+
+// checkName rejects applications outside the constructor's own family, so
+// Polybench cannot silently build a §5.6 workload or vice versa.
+func checkName(family, name string, valid []string) error {
+	for _, v := range valid {
+		if v == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("flashabacus: unknown %s application %q (valid: %s)",
+		family, name, strings.Join(valid, ", "))
+}
+
 // Polybench builds the §5.1 homogeneous workload for one of the fourteen
 // Table 2 applications (six kernel instances). scale divides the paper's
 // input sizes; use 1 for paper scale, larger values for quick runs.
 func Polybench(name string, scale int64) (*Bundle, error) {
-	o := workload.DefaultOptions()
-	o.Scale = scale
-	return workload.Homogeneous(name, o)
+	if err := checkName("PolyBench", name, workload.Names()); err != nil {
+		return nil, err
+	}
+	return workload.Homogeneous(name, options(scale))
 }
 
 // Mix builds heterogeneous workload MXn (n in 1..14): six applications,
 // four kernel instances each.
 func Mix(n int, scale int64) (*Bundle, error) {
-	o := workload.DefaultOptions()
-	o.Scale = scale
-	return workload.Mix(n, o)
+	return workload.Mix(n, options(scale))
 }
 
 // Bigdata builds the §5.6 workload for bfs, wc, nn, nw, or path.
 func Bigdata(name string, scale int64) (*Bundle, error) {
-	o := workload.DefaultOptions()
-	o.Scale = scale
-	return workload.Homogeneous(name, o)
+	if err := checkName("bigdata", name, workload.BigdataNames()); err != nil {
+		return nil, err
+	}
+	return workload.Homogeneous(name, options(scale))
 }
 
 // PolybenchNames returns the Table 2 application names.
@@ -118,4 +141,26 @@ func Run(ctx context.Context, sys System, b *Bundle) (*Result, error) {
 // RunWithSeries additionally collects the Fig. 15 time series.
 func RunWithSeries(ctx context.Context, sys System, b *Bundle) (*Result, error) {
 	return experiments.RunBundle(ctx, sys, b, true)
+}
+
+// Policy selects how RunCluster's host-level dispatcher shards a workload
+// across cards.
+type Policy = cluster.Policy
+
+// The two dispatch policies, mirroring the paper's governor families:
+// static round-robin of applications (the InterSt analogue) and dynamic
+// work-stealing of kernel instances (the InterDy analogue).
+const (
+	RoundRobin = cluster.RoundRobin
+	WorkSteal  = cluster.WorkSteal
+)
+
+// RunCluster shards one workload bundle across devices simulated FlashAbacus
+// cards behind a shared host PCIe switch and returns the aggregated cluster
+// measurements (summed throughput bytes, merged latencies, energy summed
+// across cards). devices <= 1 runs the plain single-device path, identical
+// to Run. Cancelling ctx abandons every in-flight card simulation and
+// returns the context's error.
+func RunCluster(ctx context.Context, sys System, devices int, policy Policy, b *Bundle) (*Result, error) {
+	return experiments.RunCluster(ctx, sys, devices, policy, b)
 }

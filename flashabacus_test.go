@@ -78,3 +78,77 @@ func TestBadWorkloadNames(t *testing.T) {
 		t.Error("unknown bigdata accepted")
 	}
 }
+
+// The two homogeneous constructors are family-scoped: each must reject the
+// other family's application names even though both synthesize through
+// workload.Homogeneous.
+func TestFamilyValidation(t *testing.T) {
+	for _, name := range BigdataNames() {
+		if _, err := Polybench(name, 1); err == nil {
+			t.Errorf("Polybench accepted bigdata application %q", name)
+		}
+	}
+	for _, name := range PolybenchNames() {
+		if _, err := Bigdata(name, 1); err == nil {
+			t.Errorf("Bigdata accepted PolyBench application %q", name)
+		}
+	}
+	for _, name := range PolybenchNames() {
+		if _, err := Polybench(name, 256); err != nil {
+			t.Errorf("Polybench rejected its own application %q: %v", name, err)
+		}
+	}
+	for _, name := range BigdataNames() {
+		if _, err := Bigdata(name, 256); err != nil {
+			t.Errorf("Bigdata rejected its own application %q: %v", name, err)
+		}
+	}
+}
+
+func TestRunClusterFacade(t *testing.T) {
+	single, err := Run(context.Background(), IntraO3, mustMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunCluster(context.Background(), IntraO3, 1, WorkSteal, mustMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan != single.Makespan || one.Bytes != single.Bytes {
+		t.Errorf("devices=1 cluster differs from Run: %s vs %s", one, single)
+	}
+	neg, err := RunCluster(context.Background(), IntraO3, -3, RoundRobin, mustMix(t))
+	if err != nil {
+		t.Fatalf("devices<=0 should take the single-device path: %v", err)
+	}
+	if neg.Makespan != single.Makespan {
+		t.Errorf("devices=-3 cluster differs from Run: %s vs %s", neg, single)
+	}
+	for _, policy := range []Policy{RoundRobin, WorkSteal} {
+		r, err := RunCluster(context.Background(), IntraO3, 4, policy, mustMix(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ThroughputMBps() < single.ThroughputMBps() {
+			t.Errorf("4-card %v throughput %.1f below single-card %.1f",
+				policy, r.ThroughputMBps(), single.ThroughputMBps())
+		}
+	}
+}
+
+func TestRunClusterCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCluster(ctx, IntraO3, 4, RoundRobin, mustMix(t)); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func mustMix(t *testing.T) *Bundle {
+	t.Helper()
+	b, err := Mix(1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,331 @@
+// Package cluster is the host-level scale-out layer: it shards one workload
+// bundle across N simulated FlashAbacus cards sitting behind a shared host
+// PCIe switch and aggregates the per-card measurements into one cluster
+// result.
+//
+// The paper's closing argument is that self-governed accelerators remove the
+// host storage stack so cheaply that cards can be ganged; this package
+// models the layer that ganging actually needs — the dispatcher above the
+// array. Two dispatch policies mirror the paper's two governor families:
+//
+//   - RoundRobin statically binds application i to card i mod N, the
+//     cluster-level analogue of the InterSt governor. Each card runs its
+//     application subset as one self-governed device simulation, so
+//     intra-card scheduling, flash contention, and GC behave exactly as in
+//     the single-card evaluation.
+//
+//   - WorkSteal dispatches kernel instances dynamically: the host keeps a
+//     queue of instances and hands the next one to whichever card frees up
+//     first, the analogue of InterDy's claim-next-kernel rule. Placement is
+//     decided by replaying that claim loop against standalone-instance
+//     runtime estimates (each instance probed as its own device run); the
+//     cards then execute their claimed sets as ordinary self-governed
+//     device simulations, so intra-card concurrency is preserved and only
+//     the instance-to-card mapping is dynamic.
+//
+// Kernel downloads serialize through a shared host link (a bandwidth-limited
+// FIFO pipe plus a per-dispatch latency), so a card's run starts only when
+// its tables have cleared the switch. Input data is replicated to every card
+// untimed, mirroring the single-device model where PopulateInput is
+// preparation rather than measured work.
+//
+// A cluster of one is the identity: Run with cfg.Devices <= 1 takes exactly
+// the single-device path (RunSingle), byte-identical to experiments.RunBundle.
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kdt"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Policy selects how the host dispatcher shards work across cards.
+type Policy int
+
+const (
+	// RoundRobin statically assigns application i to card i mod N.
+	RoundRobin Policy = iota
+	// WorkSteal hands the next queued kernel instance to the first free card.
+	WorkSteal
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "rr"
+	case WorkSteal:
+		return "steal"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists the dispatch policies in presentation order.
+var Policies = []Policy{RoundRobin, WorkSteal}
+
+// HostConfig models the shared host-side dispatch path the cards sit
+// behind: one PCIe switch uplink that kernel downloads serialize through,
+// plus the host software latency paid per dispatch.
+type HostConfig struct {
+	// BW is the switch uplink bandwidth shared by every card.
+	BW units.Bandwidth
+	// DispatchLatency is the per-dispatch host overhead (doorbell, queue
+	// bookkeeping) added before a download's data moves.
+	DispatchLatency units.Duration
+}
+
+// DefaultHost returns a PCIe 3.0 x8-class switch uplink with a few
+// microseconds of host dispatch software overhead.
+func DefaultHost() HostConfig {
+	return HostConfig{BW: 8 * units.GBps, DispatchLatency: 5 * units.Microsecond}
+}
+
+// Validate reports a host-model error, or nil.
+func (h HostConfig) Validate() error {
+	if h.BW <= 0 {
+		return fmt.Errorf("cluster: non-positive host bandwidth")
+	}
+	if h.DispatchLatency < 0 {
+		return fmt.Errorf("cluster: negative dispatch latency")
+	}
+	return nil
+}
+
+// Options tunes a cluster run.
+type Options struct {
+	// Policy selects the dispatch policy (default RoundRobin).
+	Policy Policy
+	// Host is the shared dispatch path; the zero value selects DefaultHost.
+	Host HostConfig
+	// Workers bounds how many card simulations run concurrently in wall
+	// clock (0 means runtime.GOMAXPROCS(0)). Simulated time is unaffected.
+	Workers int
+}
+
+// RunSingle runs one bundle on one card: the node lifecycle experiments.
+// RunBundle delegates to, and the devices<=1 path of Run.
+func RunSingle(ctx context.Context, cfg core.Config, b *workload.Bundle) (*stats.Result, error) {
+	n, err := NewNode(0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Populate(b.Populate); err != nil {
+		return nil, fmt.Errorf("%s/%s: populate: %w", b.Name, cfg.System, err)
+	}
+	if err := n.Offload(b.Apps); err != nil {
+		return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, cfg.System, err)
+	}
+	res, err := n.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", b.Name, cfg.System, err)
+	}
+	res.Workload = b.Name
+	return res, nil
+}
+
+// Run shards bundle b across cfg.Devices cards and returns the aggregated
+// cluster result. cfg describes each (identical) card; cfg.Devices is the
+// topology knob. Cancelling ctx abandons every in-flight card simulation
+// and returns the context's error.
+func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*stats.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	devices := cfg.Devices
+	if devices < 1 {
+		devices = 1
+	}
+	if devices == 1 {
+		return RunSingle(ctx, cfg, b)
+	}
+	if o.Host == (HostConfig{}) {
+		o.Host = DefaultHost()
+	}
+	if err := o.Host.Validate(); err != nil {
+		return nil, err
+	}
+	if len(b.Apps) == 0 {
+		return nil, fmt.Errorf("cluster: %s has no applications", b.Name)
+	}
+	var parts []stats.Part
+	var err error
+	switch o.Policy {
+	case RoundRobin:
+		parts, err = runRoundRobin(ctx, cfg, b, devices, o)
+	case WorkSteal:
+		parts, err = runWorkSteal(ctx, cfg, b, devices, o)
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %d", int(o.Policy))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return stats.Aggregate(cfg.System.String(), b.Name, devices, parts), nil
+}
+
+// offloadBytes is the wire size of an application set's kernel description
+// tables — what the shared host link carries per dispatch. Encoding errors
+// surface later, when the card's own offload encodes the same tables.
+func offloadBytes(apps []workload.App) int64 {
+	var n int64
+	for _, app := range apps {
+		for _, t := range app.Tables {
+			if blob, err := t.Encode(); err == nil {
+				n += int64(len(blob))
+			}
+		}
+	}
+	return n
+}
+
+// runRoundRobin implements the static policy: application i goes to card
+// i mod devices, every card runs its subset as one device simulation, and
+// each card's run begins when its downloads clear the shared host link.
+func runRoundRobin(ctx context.Context, cfg core.Config, b *workload.Bundle, devices int, o Options) ([]stats.Part, error) {
+	shards := make([][]workload.App, devices)
+	for i, app := range b.Apps {
+		shards[i%devices] = append(shards[i%devices], app)
+	}
+
+	// Downloads stream card by card through the shared link, so card c's
+	// simulated run starts at its last table's arrival.
+	link := sim.NewPipe("host-switch", o.Host.BW)
+	link.Latency = o.Host.DispatchLatency
+	offsets := make([]units.Duration, devices)
+	for c := range shards {
+		if len(shards[c]) == 0 {
+			continue
+		}
+		_, end := link.Transfer(0, offloadBytes(shards[c]))
+		offsets[c] = end
+	}
+
+	results, err := runner.Collect(ctx, runner.New(o.Workers), devices,
+		func(ctx context.Context, c int) (*stats.Result, error) {
+			if len(shards[c]) == 0 {
+				return nil, nil // more cards than applications: card stays idle
+			}
+			res, err := runShard(ctx, c, cfg, b, shards[c])
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cfg.System, c, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var parts []stats.Part
+	for c, res := range results {
+		if res != nil {
+			parts = append(parts, stats.Part{Res: res, Offset: offsets[c]})
+		}
+	}
+	return parts, nil
+}
+
+// runWorkSteal implements the dynamic policy in two phases.
+//
+// Probe: every kernel instance runs standalone as its own device simulation
+// (concurrently in wall clock), yielding the runtime estimate the host's
+// dispatcher schedules by — the stand-in for the completion notifications
+// InterDy reacts to inside a card.
+//
+// Claim loop: in simulated time, the card with the earliest estimated free
+// instant claims the next queued instance, paying the shared-link download
+// before its estimated run. The loop fixes only the instance-to-card
+// mapping and each card's first-dispatch time; the cards then execute
+// their claimed sets as ordinary self-governed device simulations, so a
+// card's internal governor still overlaps its instances. Both phases are
+// deterministic regardless of wall-clock worker count.
+func runWorkSteal(ctx context.Context, cfg core.Config, b *workload.Bundle, devices int, o Options) ([]stats.Part, error) {
+	var instances []workload.App
+	for _, app := range b.Apps {
+		for k, t := range app.Tables {
+			instances = append(instances, workload.App{
+				Name:   fmt.Sprintf("%s#%d", app.Name, k),
+				Tables: []*kdt.Table{t},
+			})
+		}
+	}
+
+	probes, err := runner.Collect(ctx, runner.New(o.Workers), len(instances),
+		func(ctx context.Context, i int) (*stats.Result, error) {
+			res, err := runShard(ctx, i, cfg, b, instances[i:i+1])
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: probe %s: %w", b.Name, cfg.System, instances[i].Name, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	link := sim.NewPipe("host-switch", o.Host.BW)
+	link.Latency = o.Host.DispatchLatency
+	free := make([]units.Duration, devices)
+	claims := make([][]workload.App, devices)
+	starts := make([]units.Duration, devices)
+	for i, inst := range instances {
+		card := 0
+		for c := 1; c < devices; c++ {
+			if free[c] < free[card] {
+				card = c
+			}
+		}
+		// The claim order visits non-decreasing free instants, so the
+		// shared link sees FIFO request times as its model requires.
+		_, arrive := link.Transfer(free[card], offloadBytes(instances[i:i+1]))
+		if len(claims[card]) == 0 {
+			starts[card] = arrive
+		}
+		claims[card] = append(claims[card], inst)
+		free[card] = arrive + probes[i].Makespan
+	}
+
+	results, err := runner.Collect(ctx, runner.New(o.Workers), devices,
+		func(ctx context.Context, c int) (*stats.Result, error) {
+			if len(claims[c]) == 0 {
+				return nil, nil // more cards than instances: card stays idle
+			}
+			res, err := runShard(ctx, c, cfg, b, claims[c])
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cfg.System, c, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var parts []stats.Part
+	for c, res := range results {
+		if res != nil {
+			// A card starts when its first claim lands; later claims'
+			// microsecond-scale downloads overlap its execution.
+			parts = append(parts, stats.Part{Res: res, Offset: starts[c]})
+		}
+	}
+	return parts, nil
+}
+
+// runShard walks one card through the node lifecycle for a subset of the
+// bundle's applications. The full input set is replicated to each card.
+func runShard(ctx context.Context, id int, cfg core.Config, b *workload.Bundle, apps []workload.App) (*stats.Result, error) {
+	n, err := NewNode(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Populate(b.Populate); err != nil {
+		return nil, fmt.Errorf("populate: %w", err)
+	}
+	if err := n.Offload(apps); err != nil {
+		return nil, fmt.Errorf("offload: %w", err)
+	}
+	return n.Run(ctx)
+}

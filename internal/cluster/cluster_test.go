@@ -1,0 +1,234 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func bundle(t *testing.T, scale int64) *workload.Bundle {
+	t.Helper()
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	b, err := workload.Mix(1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func homogeneous(t *testing.T, name string, scale int64) *workload.Bundle {
+	t.Helper()
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	b, err := workload.Homogeneous(name, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// A one-card cluster must be the single-device path exactly: same result,
+// field for field, as experiments.RunBundle.
+func TestSingleDeviceIdentity(t *testing.T) {
+	b := homogeneous(t, "ATAX", 256)
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 1
+	for _, p := range cluster.Policies {
+		got, err := cluster.Run(context.Background(), cfg, b, cluster.Options{Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := experiments.RunBundle(context.Background(), core.IntraO3, homogeneous(t, "ATAX", 256), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: devices=1 cluster result differs from RunBundle:\n got %+v\nwant %+v", p, got, want)
+		}
+	}
+}
+
+// Sharding must conserve the workload: every kernel instance completes
+// exactly once and the throughput numerator (input bytes) is unchanged.
+func TestShardingConservesWork(t *testing.T) {
+	single, err := experiments.RunBundle(context.Background(), core.IntraO3, bundle(t, 256), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cluster.Policies {
+		for _, devices := range []int{2, 3, 4, 8} {
+			cfg := core.DefaultConfig(core.IntraO3)
+			cfg.Devices = devices
+			r, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{Policy: p})
+			if err != nil {
+				t.Fatalf("%s x%d: %v", p, devices, err)
+			}
+			if r.Bytes != single.Bytes {
+				t.Errorf("%s x%d: bytes %d, single device %d", p, devices, r.Bytes, single.Bytes)
+			}
+			if len(r.KernelLatencies) != len(single.KernelLatencies) {
+				t.Errorf("%s x%d: %d kernels completed, want %d",
+					p, devices, len(r.KernelLatencies), len(single.KernelLatencies))
+			}
+			if r.Makespan <= 0 {
+				t.Errorf("%s x%d: non-positive makespan", p, devices)
+			}
+			if r.WorkerUtil <= 0 || r.WorkerUtil > 1 {
+				t.Errorf("%s x%d: utilization %v outside (0,1]", p, devices, r.WorkerUtil)
+			}
+			if r.Energy.Total() <= single.Energy.Total()/2 {
+				t.Errorf("%s x%d: cluster energy %v implausibly low vs single %v",
+					p, devices, r.Energy.Total(), single.Energy.Total())
+			}
+			if r.System != "IntraO3" || r.Workload != "MX1" {
+				t.Errorf("%s x%d: labels %s/%s", p, devices, r.Workload, r.System)
+			}
+		}
+	}
+}
+
+// More cards than applications: the spare cards stay idle and the run still
+// completes with the full workload accounted for.
+func TestIdleCards(t *testing.T) {
+	b := homogeneous(t, "GEMM", 256) // three applications
+	cfg := core.DefaultConfig(core.InterDy)
+	cfg.Devices = 8
+	r, err := cluster.Run(context.Background(), cfg, b, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.KernelLatencies) != 6 {
+		t.Errorf("%d kernels completed, want 6", len(r.KernelLatencies))
+	}
+}
+
+// Aggregate throughput must not degrade as cards are added (the scaling
+// cells' acceptance property, pinned here at the test scale).
+func TestThroughputMonotonic(t *testing.T) {
+	for _, p := range cluster.Policies {
+		prev := 0.0
+		for _, devices := range []int{1, 2, 4, 8} {
+			cfg := core.DefaultConfig(core.IntraO3)
+			cfg.Devices = devices
+			r, err := cluster.Run(context.Background(), cfg, homogeneous(t, "ATAX", 256), cluster.Options{Policy: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tput := r.ThroughputMBps(); tput < prev {
+				t.Errorf("%s: throughput dropped from %.1f to %.1f MB/s at %d devices",
+					p, prev, tput, devices)
+			} else {
+				prev = tput
+			}
+		}
+	}
+}
+
+func TestConfigRejectsBadDevices(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = core.MaxDevices + 1
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{}); err == nil {
+		t.Error("devices beyond the cap accepted")
+	}
+	cfg.Devices = -1
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{}); err == nil {
+		t.Error("negative devices accepted")
+	}
+}
+
+func TestBadPolicyAndHost(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 2
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+		cluster.Options{Policy: cluster.Policy(99)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+		cluster.Options{Host: cluster.HostConfig{BW: -1}}); err == nil {
+		t.Error("negative host bandwidth accepted")
+	}
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+		cluster.Options{Host: cluster.HostConfig{BW: 1, DispatchLatency: -1}}); err == nil {
+		t.Error("negative dispatch latency accepted")
+	}
+	if err := cluster.DefaultHost().Validate(); err != nil {
+		t.Errorf("default host invalid: %v", err)
+	}
+}
+
+func TestEmptyBundle(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 2
+	if _, err := cluster.Run(context.Background(), cfg, &workload.Bundle{Name: "empty"}, cluster.Options{}); err == nil {
+		t.Error("empty bundle accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if cluster.RoundRobin.String() != "rr" || cluster.WorkSteal.String() != "steal" {
+		t.Errorf("policy names: %s, %s", cluster.RoundRobin, cluster.WorkSteal)
+	}
+	if cluster.Policy(7).String() == "" {
+		t.Error("unknown policy has empty name")
+	}
+}
+
+// A context cancelled before dispatch must surface immediately.
+func TestPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 4
+	if _, err := cluster.Run(ctx, cfg, bundle(t, 256), cluster.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Cancelling a cluster run while cards are mid-kernel must return promptly
+// with the context's error and leak no goroutines. Workers is throttled so
+// the paper-scale probe phase is reliably still in flight when the cancel
+// lands.
+func TestCancelMidDispatchNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := cluster.Run(ctx, cfg, bundle(t, 1), cluster.Options{Policy: cluster.WorkSteal, Workers: 2})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let cards get mid-kernel
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster run did not return promptly after cancel")
+	}
+
+	// The runner pool's workers exit before Run returns; give the runtime a
+	// moment to reap them, then require the goroutine count back at baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

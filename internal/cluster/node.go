@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Node is one FlashAbacus card viewed from the host: a core.Device with its
+// lifecycle — construction, input population, kernel offload, run — split
+// into composable steps. experiments.RunBundle walks a single node through
+// all four; the cluster dispatcher builds one node per card (or per probed
+// kernel instance) and drives the same steps, so every card in a scale-out
+// run is exactly the device the single-card evaluation measures.
+//
+// A node is single-use, like the device it wraps: Run consumes it.
+type Node struct {
+	ID  int
+	dev *core.Device
+}
+
+// NewNode builds card id from a configuration.
+func NewNode(id int, cfg core.Config) (*Node, error) {
+	d, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{ID: id, dev: d}, nil
+}
+
+// Device exposes the underlying device for verification and tooling.
+func (n *Node) Device() *core.Device { return n.dev }
+
+// Populate installs the bundle's input ranges on this card's store,
+// untimed — in a cluster the shared dataset is replicated to every card
+// before the run, mirroring the single-device model where PopulateInput
+// is preparation, not measured work.
+func (n *Node) Populate(ranges []workload.Range) error {
+	for _, r := range ranges {
+		if err := n.dev.PopulateInput(r.Addr, r.Bytes, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Offload downloads the listed applications through the card's PCIe BAR.
+func (n *Node) Offload(apps []workload.App) error {
+	for _, app := range apps {
+		if err := n.dev.OffloadApp(app.Name, app.Tables); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes everything offloaded to the card and returns its
+// measurements. Cancelling ctx abandons the simulation.
+func (n *Node) Run(ctx context.Context) (*stats.Result, error) {
+	return n.dev.Run(ctx)
+}

@@ -64,6 +64,12 @@ func (s System) IsFlashAbacus() bool { return s != SIMD }
 type Config struct {
 	System System
 
+	// Devices is the cluster topology knob: how many identical cards a
+	// host-level cluster run shards a workload across (internal/cluster).
+	// 0 and 1 both mean a single device; the device model itself ignores
+	// the field — it only shapes the dispatch layer above it.
+	Devices int
+
 	// LWPs is the total core count (8). Workers is the compute-core
 	// subset; 0 selects the paper's split automatically: all cores for
 	// SIMD, LWPs-2 for FlashAbacus (one each for Flashvisor/Storengine).
@@ -134,8 +140,16 @@ func (c Config) workerCount() int {
 	return c.LWPs - 2
 }
 
+// MaxDevices bounds the cluster topology knob: enough cards for every
+// scaling study the evaluation runs while keeping a single host switch
+// plausible.
+const MaxDevices = 64
+
 // Validate reports a configuration error, or nil.
 func (c Config) Validate() error {
+	if c.Devices < 0 || c.Devices > MaxDevices {
+		return fmt.Errorf("core: %d devices outside [0,%d]", c.Devices, MaxDevices)
+	}
 	if c.LWPs < 1 {
 		return fmt.Errorf("core: %d LWPs", c.LWPs)
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -41,6 +42,10 @@ const (
 	KindSensitivity
 	// KindSeries is a mix run with time-series collection (Fig. 15).
 	KindSeries
+	// KindCluster is one (workload, devices, policy) cell of the cluster
+	// scaling study: the bundle sharded across Devices cards by the
+	// internal/cluster dispatcher.
+	KindCluster
 )
 
 // Job names one cached device simulation: a workload cell (application,
@@ -52,11 +57,14 @@ const (
 // families.
 type Job struct {
 	Kind  Kind
-	Name  string // application name (KindHomogeneous, KindBigdata)
-	Mix   int    // mix number (KindHeterogeneous, KindSeries)
+	Name  string // application name (KindHomogeneous, KindBigdata, KindCluster)
+	Mix   int    // mix number (KindHeterogeneous, KindSeries, KindCluster with Name == "")
 	Sys   core.System
 	Cores int // worker count (KindSensitivity)
 	Pct   int // serial instruction percentage (KindSensitivity)
+
+	Devices int            // card count (KindCluster)
+	Policy  cluster.Policy // dispatch policy (KindCluster)
 }
 
 func (j Job) String() string {
@@ -67,9 +75,20 @@ func (j Job) String() string {
 		return fmt.Sprintf("serial%d@%dc/%s", j.Pct, j.Cores, j.Sys)
 	case KindSeries:
 		return fmt.Sprintf("MX%d-series/%s", j.Mix, j.Sys)
+	case KindCluster:
+		return fmt.Sprintf("cluster-%s@%dx%s/%s", j.workloadName(), j.Devices, j.Policy, j.Sys)
 	default:
 		return fmt.Sprintf("%s/%s", j.Name, j.Sys)
 	}
+}
+
+// workloadName names the job's workload for rows and labels: the
+// application name, or MXn when the job runs a mix.
+func (j Job) workloadName() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return fmt.Sprintf("MX%d", j.Mix)
 }
 
 // bundle builds the job's workload at the suite's scale.
@@ -78,6 +97,11 @@ func (j Job) bundle(o workload.Options) (*workload.Bundle, error) {
 	case KindHomogeneous, KindBigdata:
 		return workload.Homogeneous(j.Name, o)
 	case KindHeterogeneous, KindSeries:
+		return workload.Mix(j.Mix, o)
+	case KindCluster:
+		if j.Name != "" {
+			return workload.Homogeneous(j.Name, o)
+		}
 		return workload.Mix(j.Mix, o)
 	case KindSensitivity:
 		b, _, err := workload.Sensitivity(j.Pct, j.Cores, o)
@@ -152,6 +176,10 @@ func await[T any](ctx context.Context, mu *sync.Mutex,
 type Suite struct {
 	Scale   int64
 	Workers int
+	// MaxDevices caps the cluster scaling sweep's device counts (0 means
+	// the full ClusterDeviceCounts sweep). abacus-repro sets it from
+	// -devices so the prewarmed cells match the rendered columns.
+	MaxDevices int
 
 	mu    sync.Mutex
 	cells map[Job]*flight[*stats.Result]
@@ -173,31 +201,25 @@ func (s *Suite) opts() workload.Options {
 	return o
 }
 
-// RunBundle executes a workload bundle on one system configuration.
-// Cancelling ctx abandons the simulation.
+// RunBundle executes a workload bundle on one system configuration by
+// walking a single cluster node through its lifecycle (build, populate,
+// offload, run). Cancelling ctx abandons the simulation.
 func RunBundle(ctx context.Context, sys core.System, b *workload.Bundle, series bool) (*stats.Result, error) {
 	cfg := core.DefaultConfig(sys)
 	cfg.CollectSeries = series
-	d, err := core.New(cfg)
-	if err != nil {
-		return nil, err
+	return cluster.RunSingle(ctx, cfg, b)
+}
+
+// RunCluster shards a workload bundle across devices simulated cards under
+// the given dispatch policy and returns the aggregated cluster result.
+// devices <= 1 is the single-device path, byte-identical to RunBundle.
+func RunCluster(ctx context.Context, sys core.System, devices int, policy cluster.Policy, b *workload.Bundle) (*stats.Result, error) {
+	if devices < 1 {
+		devices = 1 // the documented single-device path, not a config error
 	}
-	for _, r := range b.Populate {
-		if err := d.PopulateInput(r.Addr, r.Bytes, nil); err != nil {
-			return nil, fmt.Errorf("%s/%s: populate: %w", b.Name, sys, err)
-		}
-	}
-	for _, app := range b.Apps {
-		if err := d.OffloadApp(app.Name, app.Tables); err != nil {
-			return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, sys, err)
-		}
-	}
-	res, err := d.Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", b.Name, sys, err)
-	}
-	res.Workload = b.Name
-	return res, nil
+	cfg := core.DefaultConfig(sys)
+	cfg.Devices = devices
+	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy})
 }
 
 // Run returns job j's result, simulating it on first request. Concurrent
@@ -218,6 +240,15 @@ func (s *Suite) Run(ctx context.Context, j Job) (*stats.Result, error) {
 }
 
 func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
+	if j.Kind == KindCluster && j.Devices <= 1 {
+		// A one-card cluster is the plain single-device run: share the
+		// equivalent homogeneous/heterogeneous cell instead of simulating
+		// the same device twice under a second key.
+		if j.Name != "" {
+			return s.Run(ctx, Job{Kind: KindHomogeneous, Name: j.Name, Sys: j.Sys})
+		}
+		return s.Run(ctx, Job{Kind: KindHeterogeneous, Mix: j.Mix, Sys: j.Sys})
+	}
 	b, err := j.bundle(s.opts())
 	if err != nil {
 		return nil, err
@@ -240,6 +271,14 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 		return d.Run(ctx)
 	case KindSeries:
 		return RunBundle(ctx, j.Sys, b, true)
+	case KindCluster:
+		// simulate already runs inside a Prewarm worker slot, so the
+		// nested card/probe simulations stay sequential: total concurrent
+		// device runs never exceed the suite's Workers bound (and -jobs 1
+		// stays fully sequential through cluster cells).
+		cfg := core.DefaultConfig(j.Sys)
+		cfg.Devices = j.Devices
+		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1})
 	default:
 		return RunBundle(ctx, j.Sys, b, false)
 	}
@@ -280,6 +319,72 @@ func (s *Suite) Bigdata(ctx context.Context, name string, sys core.System) (*sta
 var CachedExperimentIDs = []string{
 	"fig3b", "fig3c", "fig3d", "fig3e", "fig10a", "fig10b", "fig11a", "fig11b",
 	"fig12", "fig13a", "fig13b", "fig14a", "fig14b", "fig15", "fig16a", "fig16b",
+	"cluster",
+}
+
+// Cluster scaling study shape: representative workloads (a data-intensive
+// and a compute-intensive PolyBench application plus one heterogeneous
+// mix), the device-count sweep, and the system the cards run.
+var (
+	ClusterSys          = core.IntraO3
+	ClusterApps         = []string{"ATAX", "3MM"}
+	ClusterMixes        = []int{1}
+	ClusterDeviceCounts = []int{1, 2, 4, 8}
+)
+
+// clusterBases returns the workload template jobs of the scaling study, in
+// row order.
+func clusterBases() []Job {
+	var out []Job
+	for _, name := range ClusterApps {
+		out = append(out, Job{Kind: KindCluster, Name: name, Sys: ClusterSys})
+	}
+	for _, n := range ClusterMixes {
+		out = append(out, Job{Kind: KindCluster, Mix: n, Sys: ClusterSys})
+	}
+	return out
+}
+
+// clusterCells enumerates the scaling cells for the given device counts.
+// A one-card cluster is policy-independent (it is the plain single-device
+// run), so devices=1 contributes one shared cell per workload instead of
+// one per policy.
+func clusterCells(counts []int) []Job {
+	var out []Job
+	for _, base := range clusterBases() {
+		for _, d := range counts {
+			if d <= 1 {
+				j := base
+				j.Devices = 1
+				out = append(out, j)
+				continue
+			}
+			for _, p := range cluster.Policies {
+				j := base
+				j.Devices, j.Policy = d, p
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// deviceCounts is the suite's capped sweep: ClusterDeviceCounts up to
+// MaxDevices (0 means uncapped), never empty.
+func (s *Suite) deviceCounts() []int {
+	if s.MaxDevices <= 0 {
+		return ClusterDeviceCounts
+	}
+	var out []int
+	for _, d := range ClusterDeviceCounts {
+		if d <= s.MaxDevices {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
 }
 
 // sensitivityCells enumerates the Fig. 3 sweep in (cores, ratio) order —
@@ -353,6 +458,8 @@ func Cells(id string) []Job {
 		return out
 	case "fig16a", "fig16b":
 		return homogAll(workload.BigdataNames(), KindBigdata)
+	case "cluster":
+		return clusterCells(ClusterDeviceCounts)
 	}
 	return nil
 }
@@ -361,10 +468,26 @@ func Cells(id string) []Job {
 // deduplicated, preserving first-appearance order — a deterministic job
 // list for Prewarm.
 func CellsFor(ids []string) []Job {
+	return cellsFor(ids, Cells)
+}
+
+// CellsFor is the suite-aware variant of the free function: cluster cells
+// honour the suite's MaxDevices cap, so a prewarm warms exactly the cells
+// the suite's renders will read.
+func (s *Suite) CellsFor(ids []string) []Job {
+	return cellsFor(ids, func(id string) []Job {
+		if id == "cluster" {
+			return clusterCells(s.deviceCounts())
+		}
+		return Cells(id)
+	})
+}
+
+func cellsFor(ids []string, cells func(string) []Job) []Job {
 	seen := map[Job]bool{}
 	var out []Job
 	for _, id := range ids {
-		for _, j := range Cells(id) {
+		for _, j := range cells(id) {
 			if !seen[j] {
 				seen[j] = true
 				out = append(out, j)
@@ -783,6 +906,60 @@ func (s *Suite) Fig16b(ctx context.Context) (*report.Table, error) {
 		func(name string, sys core.System) (*stats.Result, error) {
 			return s.Bigdata(ctx, name, sys)
 		})
+}
+
+// clusterPolicyName spells a dispatch policy for table rows.
+func clusterPolicyName(p cluster.Policy) string {
+	switch p {
+	case cluster.RoundRobin:
+		return "round-robin"
+	case cluster.WorkSteal:
+		return "work-steal"
+	default:
+		return p.String()
+	}
+}
+
+// Cluster renders the scaling study: aggregate throughput and total energy
+// versus device count for the representative workloads, one row per
+// (workload, dispatch policy). The cells are ordinary suite jobs, so a
+// prewarm that included the cluster experiment makes this pure assembly.
+func (s *Suite) Cluster(ctx context.Context) (string, error) {
+	counts := s.deviceCounts()
+	hdr := []string{"workload", "policy"}
+	for _, d := range counts {
+		hdr = append(hdr, fmt.Sprintf("%d dev", d))
+	}
+	tput := &report.Table{
+		Title:  fmt.Sprintf("Cluster scaling: aggregate throughput (MB/s, %s)", ClusterSys),
+		Header: hdr,
+	}
+	energy := &report.Table{
+		Title:  fmt.Sprintf("Cluster scaling: total energy (J, %s)", ClusterSys),
+		Header: hdr,
+	}
+	for _, base := range clusterBases() {
+		for _, p := range cluster.Policies {
+			rowT := []interface{}{base.workloadName(), clusterPolicyName(p)}
+			rowE := []interface{}{base.workloadName(), clusterPolicyName(p)}
+			for _, d := range counts {
+				j := base
+				j.Devices = d
+				if d > 1 {
+					j.Policy = p
+				}
+				r, err := s.Run(ctx, j)
+				if err != nil {
+					return "", err
+				}
+				rowT = append(rowT, fmt.Sprintf("%.1f", r.ThroughputMBps()))
+				rowE = append(rowE, fmt.Sprintf("%.2f", r.Energy.Total()))
+			}
+			tput.Add(rowT...)
+			energy.Add(rowE...)
+		}
+	}
+	return tput.String() + "\n" + energy.String() + "\n", nil
 }
 
 func systemNames() []string {

@@ -109,6 +109,76 @@ func (r *Result) BreakdownFracs() (accel, ssd, stack float64) {
 	return float64(r.AccelTime) / total, float64(r.SSDTime) / total, float64(r.StackTime) / total
 }
 
+// Part is one node's contribution to a cluster aggregate: the node-local
+// result plus the host-level time offset at which the node's run began
+// (its dispatch completion on the shared host link).
+type Part struct {
+	Res    *Result
+	Offset units.Duration
+}
+
+// Aggregate merges per-node results of a cluster run into one cluster-level
+// Result: bytes and energy sum, kernel latencies concatenate, completion
+// times shift by each part's host-dispatch offset, and the makespan is the
+// latest node finish. WorkerUtil averages node utilizations over the cluster
+// makespan across all devices cards, so cards that finish early (or never
+// receive work) count as idle. Time series are not merged — cluster results
+// carry no Fig. 15 traces.
+func Aggregate(system, workload string, devices int, parts []Part) *Result {
+	r := &Result{System: system, Workload: workload}
+	var utilWeighted float64
+	comps := map[string]*power.Entry{}
+	for _, p := range parts {
+		res := p.Res
+		if fin := p.Offset + res.Makespan; fin > r.Makespan {
+			r.Makespan = fin
+		}
+		r.Bytes += res.Bytes
+		r.KernelLatencies = append(r.KernelLatencies, res.KernelLatencies...)
+		for _, t := range res.CompletionTimes {
+			r.CompletionTimes = append(r.CompletionTimes, t+p.Offset)
+		}
+		utilWeighted += res.WorkerUtil * float64(res.Makespan)
+		for c := range res.Energy {
+			r.Energy[c] += res.Energy[c]
+		}
+		for _, e := range res.ByComponent {
+			if a, ok := comps[e.Component]; ok {
+				a.Joules += e.Joules
+			} else {
+				cp := e
+				comps[e.Component] = &cp
+			}
+		}
+		r.AccelTime += res.AccelTime
+		r.SSDTime += res.SSDTime
+		r.StackTime += res.StackTime
+		r.DrainTime += res.DrainTime
+		r.Visor.ReadGroups += res.Visor.ReadGroups
+		r.Visor.WriteGroups += res.Visor.WriteGroups
+		r.Visor.FGReclaims += res.Visor.FGReclaims
+		r.Visor.Migrated += res.Visor.Migrated
+		r.Visor.JournalWrites += res.Visor.JournalWrites
+		r.Visor.UnmappedReads += res.Visor.UnmappedReads
+		r.BGReclaims += res.BGReclaims
+		r.Journals += res.Journals
+		r.LockConflicts += res.LockConflicts
+		r.LockWaited += res.LockWaited
+	}
+	if r.Makespan > 0 && devices > 0 {
+		r.WorkerUtil = utilWeighted / (float64(devices) * float64(r.Makespan))
+	}
+	names := make([]string, 0, len(comps))
+	for name := range comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.ByComponent = append(r.ByComponent, *comps[name])
+	}
+	return r
+}
+
 // String renders a one-line summary.
 func (r *Result) String() string {
 	mn, av, mx := r.LatencyStats()
