@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The golden files under testdata/ pin the exact bytes `abacus-repro all`
+// prints at a small scale, replacing the manual "compare against a
+// pre-change binary" ritual: any change that moves a reported number now
+// fails in CI with a line-level diff. After an INTENTIONAL output change,
+// regenerate with
+//
+//	go test ./cmd/abacus-repro -run TestGolden -update
+//
+// and commit the rewritten files alongside the change that explains them.
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// goldenCases pins both dispatch-layer shapes: the single-device
+// evaluation (the -devices 1 default, which must never move unless the
+// device model itself changes) and the 8-card cluster sweep (which pins
+// the homogeneous single-switch topology byte for byte).
+var goldenCases = []struct {
+	name    string
+	file    string
+	devices int
+}{
+	{"all", "all_scale256.golden", 1},
+	{"all-devices8", "all_scale256_devices8.golden", 8},
+}
+
+func TestGoldenOutput(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(context.Background(), &buf, 256, "all", runtime.GOMAXPROCS(0), tc.devices, false); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output drifted from %s:\n%s\nIf the change is intentional, regenerate with: go test ./cmd/abacus-repro -run TestGolden -update",
+					path, firstDiff(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line with context, so a golden
+// failure names the table that moved instead of dumping 30 KB.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+}
+
+// The golden capture must itself be independent of -jobs: a fully
+// sequential render produces the same bytes the parallel one does.
+func TestGoldenJobsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full renders")
+	}
+	var seq, par bytes.Buffer
+	if err := run(context.Background(), &seq, 256, "all", 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &par, 256, "all", runtime.GOMAXPROCS(0), 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("output depends on -jobs:\n%s", firstDiff(seq.Bytes(), par.Bytes()))
+	}
+}
+
+// The topology sweep renders deterministically at any jobs count too; it
+// is not in the golden 'all' files (it is opt-in) but must not flap.
+func TestTopologyRenderDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(context.Background(), &a, 256, "topology", 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &b, 256, "topology", runtime.GOMAXPROCS(0), 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("topology output depends on -jobs:\n%s", firstDiff(a.Bytes(), b.Bytes()))
+	}
+	for _, wantStr := range []string{"Topology scaling", "per-switch utilization"} {
+		if !strings.Contains(a.String(), wantStr) {
+			t.Errorf("topology render lacks %q", wantStr)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-devices N] [-list]
+//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-devices N] [-topology] [-list]
 //
 // scale divides the Table 2 input sizes (1 = paper scale; the default 16
 // finishes in well under a minute). jobs bounds how many independent device
@@ -12,14 +12,17 @@
 // printed output is byte-identical whatever the jobs count. devices caps
 // the cluster scaling experiment's card sweep; at the default 1 the
 // cluster experiment is left out of 'all' and the output matches the
-// single-device evaluation exactly. -list prints the experiment ids. A
-// SIGINT/SIGTERM cancels the run cleanly.
+// single-device evaluation exactly. -topology opts the heterogeneous-
+// topology sweep (multi-switch hosts, per-card geometry skew) into 'all'.
+// -list prints the experiment ids. A SIGINT/SIGTERM cancels the run
+// cleanly.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -107,6 +110,7 @@ func experimentList() []experiment {
 		{"fig16a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16a(ctx)) }},
 		{"fig16b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16b(ctx)) }},
 		{"cluster", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Cluster(ctx) }},
+		{"topology", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Topology(ctx) }},
 	}
 }
 
@@ -123,6 +127,7 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment id or 'all' (see -list)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent device simulations (1 = fully sequential)")
 	devices := flag.Int("devices", 1, "max cards in the cluster scaling experiment (1 leaves it out of 'all')")
+	topology := flag.Bool("topology", false, "include the heterogeneous-topology sweep in 'all'")
 	list := flag.Bool("list", false, "print the experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -150,7 +155,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *scale, *exp, *jobs, *devices)
+	err := run(ctx, os.Stdout, *scale, *exp, *jobs, *devices, *topology)
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr != nil {
@@ -172,7 +177,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, scale int64, exp string, jobs, devices int) error {
+// run renders the selected experiments to w. Everything the command prints
+// on stdout flows through w, so the golden-output regression test can
+// capture a full reproduction byte for byte.
+func run(ctx context.Context, w io.Writer, scale int64, exp string, jobs, devices int, topology bool) error {
 	if devices < 1 || devices > core.MaxDevices {
 		return fmt.Errorf("-devices %d outside [1,%d]", devices, core.MaxDevices)
 	}
@@ -188,14 +196,18 @@ func run(ctx context.Context, scale int64, exp string, jobs, devices int) error 
 		if sel == nil {
 			return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(ids(), " "))
 		}
-	} else if devices == 1 {
-		// The cluster scaling experiment is opt-in: without -devices the
-		// full run prints exactly the pre-cluster evaluation.
+	} else {
+		// The scale-out experiments are opt-in: without -devices/-topology
+		// the full run prints exactly the single-device evaluation.
 		sel = nil
 		for _, e := range all {
-			if e.id != "cluster" {
-				sel = append(sel, e)
+			if e.id == "cluster" && devices == 1 {
+				continue
 			}
+			if e.id == "topology" && !topology {
+				continue
+			}
+			sel = append(sel, e)
 		}
 	}
 
@@ -212,7 +224,7 @@ func run(ctx context.Context, scale int64, exp string, jobs, devices int) error 
 		if err != nil {
 			return fmt.Errorf("%s: %w", sel[0].id, err)
 		}
-		fmt.Print(out)
+		fmt.Fprint(w, out)
 		sel = sel[1:]
 	}
 
@@ -260,7 +272,7 @@ func run(ctx context.Context, scale int64, exp string, jobs, devices int) error 
 		mu.Lock()
 		outs[i], done[i] = out, true
 		for printed < len(sel) && done[printed] {
-			fmt.Print(outs[printed])
+			fmt.Fprint(w, outs[printed])
 			outs[printed] = ""
 			printed++
 		}

@@ -155,12 +155,70 @@ const (
 	WorkSteal  = cluster.WorkSteal
 )
 
+// Topology is a declarative cluster shape: a tree of host-side PCIe
+// switches — each with its own bandwidth and dispatch latency — fanning
+// out to cards that may each carry a geometry skew against the base card.
+type Topology = cluster.Topology
+
+// Switch is one host-side PCIe switch of a Topology and the cards behind it.
+type Switch = cluster.Switch
+
+// CardSkew expresses one card's deviation from the base configuration:
+// flash channel count, superblock size, LWP count, and scratchpad size
+// (zero inherits the base value; the geometry knobs — channels, pages per
+// block, scratchpad — must be powers of two).
+type CardSkew = core.CardSkew
+
+// TopologyPresetNames lists the built-in topology presets ("sym", "skew",
+// "2sw-skew") the -topology experiment sweeps.
+var TopologyPresetNames = cluster.PresetNames
+
+// TopologyPreset builds one of the named example topologies over the given
+// total card count (even, >= 2).
+func TopologyPreset(name string, cards int) (Topology, error) {
+	return cluster.Preset(name, cards)
+}
+
+// ClusterOption customizes a RunCluster dispatch beyond the card count and
+// policy.
+type ClusterOption func(*cluster.Options)
+
+// WithTopology dispatches over an explicit heterogeneous topology instead
+// of the implicit single-switch array of identical cards; the devices
+// argument of RunCluster is then ignored (the topology owns the shape).
+func WithTopology(t Topology) ClusterOption {
+	return func(o *cluster.Options) { o.Topology = t }
+}
+
+// WithClusterWorkers bounds how many card simulations run concurrently in
+// wall clock (simulated time is unaffected; 0 means one per core).
+func WithClusterWorkers(n int) ClusterOption {
+	return func(o *cluster.Options) { o.Workers = n }
+}
+
 // RunCluster shards one workload bundle across devices simulated FlashAbacus
 // cards behind a shared host PCIe switch and returns the aggregated cluster
 // measurements (summed throughput bytes, merged latencies, energy summed
 // across cards). devices <= 1 runs the plain single-device path, identical
-// to Run. Cancelling ctx abandons every in-flight card simulation and
-// returns the context's error.
-func RunCluster(ctx context.Context, sys System, devices int, policy Policy, b *Bundle) (*Result, error) {
-	return experiments.RunCluster(ctx, sys, devices, policy, b)
+// to Run. Options extend the dispatch: WithTopology selects a multi-switch
+// and/or geometry-skewed card tree (per-switch utilization then appears in
+// Result.SwitchUtils). Cancelling ctx abandons every in-flight card
+// simulation and returns the context's error.
+func RunCluster(ctx context.Context, sys System, devices int, policy Policy, b *Bundle, opts ...ClusterOption) (*Result, error) {
+	o := cluster.Options{Policy: policy}
+	for _, f := range opts {
+		f(&o)
+	}
+	if devices < 1 {
+		devices = 1
+	}
+	cfg := core.DefaultConfig(sys)
+	cfg.Devices = devices
+	return cluster.Run(ctx, cfg, b, o)
+}
+
+// RunTopology dispatches one workload bundle over an explicit cluster
+// topology: RunCluster with WithTopology, named for discoverability.
+func RunTopology(ctx context.Context, sys System, topo Topology, policy Policy, b *Bundle) (*Result, error) {
+	return experiments.RunTopology(ctx, sys, topo, policy, b)
 }

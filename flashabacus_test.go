@@ -152,3 +152,42 @@ func mustMix(t *testing.T) *Bundle {
 	}
 	return b
 }
+
+func TestRunTopologyFacade(t *testing.T) {
+	topo, err := TopologyPreset("2sw-skew", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunTopology(context.Background(), IntraO3, topo, WorkSteal, mustMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SwitchUtils) != 2 {
+		t.Fatalf("%d switch rows, want 2", len(r.SwitchUtils))
+	}
+	// WithTopology through RunCluster is the same dispatch; the devices
+	// argument is ignored in favour of the topology's own card count.
+	viaOpts, err := RunCluster(context.Background(), IntraO3, 1, WorkSteal, mustMix(t), WithTopology(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOpts.String() != r.String() {
+		t.Errorf("WithTopology differs from RunTopology:\n %s\n %s", viaOpts, r)
+	}
+
+	custom := Topology{Switches: []Switch{
+		{Name: "fast", Cards: []CardSkew{{}, {}}},
+		{Name: "lean", Cards: []CardSkew{{Channels: 2, LWPs: 6}}},
+	}}
+	if _, err := RunTopology(context.Background(), IntraO3, custom, RoundRobin, mustMix(t)); err != nil {
+		t.Fatalf("custom topology: %v", err)
+	}
+
+	bad := Topology{Switches: []Switch{{Cards: []CardSkew{{Channels: 5}}}}}
+	if _, err := RunTopology(context.Background(), IntraO3, bad, RoundRobin, mustMix(t)); err == nil {
+		t.Error("non-pow2 skew accepted through the facade")
+	}
+	if _, err := TopologyPreset("bogus", 4); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

@@ -29,6 +29,17 @@
 // untimed, mirroring the single-device model where PopulateInput is
 // preparation rather than measured work.
 //
+// Clusters need not be homogeneous. A Topology declares the shape
+// explicitly — a tree of host-side switches, each its own pipe, fanning
+// out to cards that may each carry a geometry skew (flash channels,
+// superblock size, LWP count, scratchpad size) derived from the base
+// configuration via core.Config.Derive. Both policies are topology-aware:
+// round-robin weights its rotation by card capability, and work-stealing
+// probes per card class and routes claims through the owning switch, so a
+// congested switch naturally sheds work to the other subtree. The implicit
+// single-switch homogeneous topology (no Options.Topology) is dispatched
+// byte-identically to the pre-topology layer.
+//
 // A cluster of one is the identity: Run with cfg.Devices <= 1 takes exactly
 // the single-device path (RunSingle), byte-identical to experiments.RunBundle.
 package cluster
@@ -103,10 +114,18 @@ type Options struct {
 	// Policy selects the dispatch policy (default RoundRobin).
 	Policy Policy
 	// Host is the shared dispatch path; the zero value selects DefaultHost.
+	// With a Topology it models the root uplink above the switches.
 	Host HostConfig
 	// Workers bounds how many card simulations run concurrently in wall
 	// clock (0 means runtime.GOMAXPROCS(0)). Simulated time is unaffected.
 	Workers int
+	// Topology declares the cluster shape explicitly: switches with their
+	// own bandwidth/latency fanning out to possibly-skewed cards. The zero
+	// value keeps the classic implicit topology — one switch, cfg.Devices
+	// identical cards — whose output is byte-identical to the pre-topology
+	// cluster layer. When set, cfg.Devices is ignored: the topology owns
+	// the card count.
+	Topology Topology
 }
 
 // RunSingle runs one bundle on one card: the node lifecycle experiments.
@@ -130,20 +149,29 @@ func RunSingle(ctx context.Context, cfg core.Config, b *workload.Bundle) (*stats
 	return res, nil
 }
 
-// Run shards bundle b across cfg.Devices cards and returns the aggregated
-// cluster result. cfg describes each (identical) card; cfg.Devices is the
-// topology knob. Cancelling ctx abandons every in-flight card simulation
-// and returns the context's error.
+// Run shards bundle b across a cluster of cards and returns the aggregated
+// result. With the zero Options.Topology, cfg describes each (identical)
+// card and cfg.Devices is the card count — the classic single-switch
+// array. With an explicit Topology, cfg is the base card every per-card
+// skew derives from, and the topology owns the shape. Cancelling ctx
+// abandons every in-flight card simulation and returns the context's
+// error.
 func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*stats.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	devices := cfg.Devices
-	if devices < 1 {
-		devices = 1
-	}
-	if devices == 1 {
-		return RunSingle(ctx, cfg, b)
+	topo := o.Topology
+	if topo.IsZero() {
+		devices := cfg.Devices
+		if devices < 1 {
+			devices = 1
+		}
+		if devices == 1 {
+			return RunSingle(ctx, cfg, b)
+		}
+		topo = Uniform(devices)
+	} else if err := topo.Validate(cfg); err != nil {
+		return nil, err
 	}
 	if o.Host == (HostConfig{}) {
 		o.Host = DefaultHost()
@@ -154,20 +182,101 @@ func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*
 	if len(b.Apps) == 0 {
 		return nil, fmt.Errorf("cluster: %s has no applications", b.Name)
 	}
+	cards, classCfgs, err := flatten(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fab := newFabric(topo, o.Host, !o.Topology.IsZero())
 	var parts []stats.Part
-	var err error
 	switch o.Policy {
 	case RoundRobin:
-		parts, err = runRoundRobin(ctx, cfg, b, devices, o)
+		parts, err = runRoundRobin(ctx, b, cards, fab, o)
 	case WorkSteal:
-		parts, err = runWorkSteal(ctx, cfg, b, devices, o)
+		parts, err = runWorkSteal(ctx, b, cards, classCfgs, fab, o)
 	default:
 		return nil, fmt.Errorf("cluster: unknown policy %d", int(o.Policy))
 	}
 	if err != nil {
 		return nil, err
 	}
-	return stats.Aggregate(cfg.System.String(), b.Name, devices, parts), nil
+	return stats.Aggregate(cfg.System.String(), b.Name, len(cards), parts), nil
+}
+
+// fabric is the host-side dispatch path of one run: the root uplink (only
+// present for explicit multi-switch topologies) and one pipe per switch.
+// In the implicit single-switch mode the lone switch pipe IS the classic
+// host link — no second hop, no per-switch labels — which keeps that path
+// byte-identical to the pre-topology dispatcher.
+type fabric struct {
+	root   *sim.Pipe   // nil in implicit single-switch mode
+	sws    []*sim.Pipe // per switch, topology order
+	labels []string    // per-switch stats label ("" in implicit mode)
+}
+
+// newFabric builds the dispatch pipes. host models the root uplink (or, in
+// implicit mode, the whole path); each switch's zero BW defaults to the
+// host's.
+func newFabric(t Topology, host HostConfig, explicit bool) *fabric {
+	f := &fabric{}
+	if explicit {
+		f.root = sim.NewPipe("host-uplink", host.BW)
+		f.root.Latency = host.DispatchLatency
+		for i, sw := range t.Switches {
+			name := t.switchName(i)
+			bw := sw.BW
+			if bw == 0 {
+				bw = DefaultHost().BW
+			}
+			p := sim.NewPipe(name, bw)
+			p.Latency = sw.DispatchLatency
+			f.sws = append(f.sws, p)
+			f.labels = append(f.labels, name)
+		}
+		return f
+	}
+	link := sim.NewPipe("host-switch", host.BW)
+	link.Latency = host.DispatchLatency
+	f.sws = []*sim.Pipe{link}
+	f.labels = []string{""}
+	return f
+}
+
+// dispatch books one kernel download to a card behind switch sw, requested
+// at time at, and returns its arrival: through the root uplink first (when
+// present), then the owning switch. Both pipes are FIFO, so callers must
+// issue dispatches with non-decreasing request times — which the claim
+// loop's non-decreasing free instants and the round-robin card order both
+// guarantee.
+func (f *fabric) dispatch(at units.Duration, sw int, bytes int64) units.Duration {
+	if f.root != nil {
+		_, at = f.root.Transfer(at, bytes)
+	}
+	_, end := f.sws[sw].Transfer(at, bytes)
+	return end
+}
+
+// label returns the stats label of switch sw ("" in implicit mode, so the
+// classic path aggregates without per-switch rows).
+func (f *fabric) label(sw int) string { return f.labels[sw] }
+
+// assignApps distributes application indices across cards by weighted
+// deficit round-robin: each application goes to the card maximizing
+// weight/(assigned+1), ties to the lowest card id. Equal weights reduce
+// exactly to the classic i mod N rotation; skewed topologies send
+// proportionally more applications to more capable cards.
+func assignApps(cards []card, napps int) [][]int {
+	shards := make([][]int, len(cards))
+	for i := 0; i < napps; i++ {
+		best := 0
+		bestScore := cards[0].weight / float64(len(shards[0])+1)
+		for c := 1; c < len(cards); c++ {
+			if score := cards[c].weight / float64(len(shards[c])+1); score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		shards[best] = append(shards[best], i)
+	}
+	return shards
 }
 
 // offloadBytes is the wire size of an application set's kernel description
@@ -185,66 +294,83 @@ func offloadBytes(apps []workload.App) int64 {
 	return n
 }
 
-// runRoundRobin implements the static policy: application i goes to card
-// i mod devices, every card runs its subset as one device simulation, and
-// each card's run begins when its downloads clear the shared host link.
-func runRoundRobin(ctx context.Context, cfg core.Config, b *workload.Bundle, devices int, o Options) ([]stats.Part, error) {
-	shards := make([][]workload.App, devices)
-	for i, app := range b.Apps {
-		shards[i%devices] = append(shards[i%devices], app)
+// runRoundRobin implements the static policy: applications rotate across
+// cards (capability-weighted, so a homogeneous topology is exactly the
+// classic i mod N), every card runs its subset as one device simulation,
+// and each card's run begins when its downloads clear the dispatch fabric.
+func runRoundRobin(ctx context.Context, b *workload.Bundle, cards []card, fab *fabric, o Options) ([]stats.Part, error) {
+	assigned := assignApps(cards, len(b.Apps))
+	shards := make([][]workload.App, len(cards))
+	for c, idxs := range assigned {
+		for _, i := range idxs {
+			shards[c] = append(shards[c], b.Apps[i])
+		}
 	}
 
-	// Downloads stream card by card through the shared link, so card c's
+	// Downloads stream card by card through the fabric, so card c's
 	// simulated run starts at its last table's arrival.
-	link := sim.NewPipe("host-switch", o.Host.BW)
-	link.Latency = o.Host.DispatchLatency
-	offsets := make([]units.Duration, devices)
+	offsets := make([]units.Duration, len(cards))
 	for c := range shards {
 		if len(shards[c]) == 0 {
 			continue
 		}
-		_, end := link.Transfer(0, offloadBytes(shards[c]))
-		offsets[c] = end
+		offsets[c] = fab.dispatch(0, cards[c].sw, offloadBytes(shards[c]))
 	}
 
-	results, err := runner.Collect(ctx, runner.New(o.Workers), devices,
+	results, err := runner.Collect(ctx, runner.New(o.Workers), len(cards),
 		func(ctx context.Context, c int) (*stats.Result, error) {
 			if len(shards[c]) == 0 {
 				return nil, nil // more cards than applications: card stays idle
 			}
-			res, err := runShard(ctx, c, cfg, b, shards[c])
+			res, err := runShard(ctx, c, cards[c].cfg, b, shards[c])
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cfg.System, c, err)
+				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cards[c].cfg.System, c, err)
 			}
 			return res, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	return collectParts(results, offsets, cards, fab), nil
+}
+
+// collectParts labels per-card results with their owning switch. Idle
+// cards (nil results) are dropped on the classic unlabeled path, but kept
+// as empty labeled parts under an explicit topology so per-switch card
+// counts — and hence per-switch utilization denominators — stay honest.
+func collectParts(results []*stats.Result, offsets []units.Duration, cards []card, fab *fabric) []stats.Part {
 	var parts []stats.Part
 	for c, res := range results {
+		label := fab.label(cards[c].sw)
 		if res != nil {
-			parts = append(parts, stats.Part{Res: res, Offset: offsets[c]})
+			parts = append(parts, stats.Part{Res: res, Offset: offsets[c], Switch: label})
+		} else if label != "" {
+			parts = append(parts, stats.Part{Switch: label})
 		}
 	}
-	return parts, nil
+	return parts
 }
 
 // runWorkSteal implements the dynamic policy in two phases.
 //
-// Probe: every kernel instance runs standalone as its own device simulation
-// (concurrently in wall clock), yielding the runtime estimate the host's
-// dispatcher schedules by — the stand-in for the completion notifications
-// InterDy reacts to inside a card.
+// Probe: every kernel instance runs standalone as its own device
+// simulation, once per distinct card class (concurrently in wall clock),
+// yielding the per-class runtime estimates the host's dispatcher schedules
+// by — the stand-in for the completion notifications InterDy reacts to
+// inside a card. A homogeneous topology has one class, so it probes
+// exactly the classic per-instance set.
 //
 // Claim loop: in simulated time, the card with the earliest estimated free
-// instant claims the next queued instance, paying the shared-link download
-// before its estimated run. The loop fixes only the instance-to-card
-// mapping and each card's first-dispatch time; the cards then execute
-// their claimed sets as ordinary self-governed device simulations, so a
-// card's internal governor still overlaps its instances. Both phases are
-// deterministic regardless of wall-clock worker count.
-func runWorkSteal(ctx context.Context, cfg core.Config, b *workload.Bundle, devices int, o Options) ([]stats.Part, error) {
+// instant claims the next queued instance, paying the dispatch-fabric
+// download before its estimated run. Because a claim's arrival includes
+// the owning switch's queueing delay, a congested switch pushes its cards'
+// free instants out and the loop naturally routes later claims to the
+// other subtree. The loop fixes only the instance-to-card mapping and each
+// card's first-dispatch time; the cards then execute their claimed sets as
+// ordinary self-governed device simulations, so a card's internal governor
+// still overlaps its instances. Both phases are deterministic regardless
+// of wall-clock worker count.
+func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCfgs []core.Config, fab *fabric, o Options) ([]stats.Part, error) {
 	var instances []workload.App
 	for _, app := range b.Apps {
 		for k, t := range app.Tables {
@@ -255,11 +381,15 @@ func runWorkSteal(ctx context.Context, cfg core.Config, b *workload.Bundle, devi
 		}
 	}
 
-	probes, err := runner.Collect(ctx, runner.New(o.Workers), len(instances),
-		func(ctx context.Context, i int) (*stats.Result, error) {
-			res, err := runShard(ctx, i, cfg, b, instances[i:i+1])
+	// probes[cls*len(instances)+i] estimates instance i on card class cls.
+	n := len(instances)
+	probes, err := runner.Collect(ctx, runner.New(o.Workers), len(classCfgs)*n,
+		func(ctx context.Context, flat int) (*stats.Result, error) {
+			cls, i := flat/n, flat%n
+			res, err := runShard(ctx, i, classCfgs[cls], b, instances[i:i+1])
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: probe %s: %w", b.Name, cfg.System, instances[i].Name, err)
+				return nil, fmt.Errorf("%s/%s: probe %s (class %d): %w",
+					b.Name, classCfgs[cls].System, instances[i].Name, cls, err)
 			}
 			return res, nil
 		})
@@ -267,51 +397,43 @@ func runWorkSteal(ctx context.Context, cfg core.Config, b *workload.Bundle, devi
 		return nil, err
 	}
 
-	link := sim.NewPipe("host-switch", o.Host.BW)
-	link.Latency = o.Host.DispatchLatency
-	free := make([]units.Duration, devices)
-	claims := make([][]workload.App, devices)
-	starts := make([]units.Duration, devices)
+	free := make([]units.Duration, len(cards))
+	claims := make([][]workload.App, len(cards))
+	starts := make([]units.Duration, len(cards))
 	for i, inst := range instances {
-		card := 0
-		for c := 1; c < devices; c++ {
-			if free[c] < free[card] {
-				card = c
+		best := 0
+		for c := 1; c < len(cards); c++ {
+			if free[c] < free[best] {
+				best = c
 			}
 		}
 		// The claim order visits non-decreasing free instants, so the
-		// shared link sees FIFO request times as its model requires.
-		_, arrive := link.Transfer(free[card], offloadBytes(instances[i:i+1]))
-		if len(claims[card]) == 0 {
-			starts[card] = arrive
+		// fabric's pipes see FIFO request times as their model requires.
+		arrive := fab.dispatch(free[best], cards[best].sw, offloadBytes(instances[i:i+1]))
+		if len(claims[best]) == 0 {
+			starts[best] = arrive
 		}
-		claims[card] = append(claims[card], inst)
-		free[card] = arrive + probes[i].Makespan
+		claims[best] = append(claims[best], inst)
+		free[best] = arrive + probes[cards[best].class*n+i].Makespan
 	}
 
-	results, err := runner.Collect(ctx, runner.New(o.Workers), devices,
+	results, err := runner.Collect(ctx, runner.New(o.Workers), len(cards),
 		func(ctx context.Context, c int) (*stats.Result, error) {
 			if len(claims[c]) == 0 {
 				return nil, nil // more cards than instances: card stays idle
 			}
-			res, err := runShard(ctx, c, cfg, b, claims[c])
+			res, err := runShard(ctx, c, cards[c].cfg, b, claims[c])
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cfg.System, c, err)
+				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cards[c].cfg.System, c, err)
 			}
 			return res, nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	var parts []stats.Part
-	for c, res := range results {
-		if res != nil {
-			// A card starts when its first claim lands; later claims'
-			// microsecond-scale downloads overlap its execution.
-			parts = append(parts, stats.Part{Res: res, Offset: starts[c]})
-		}
-	}
-	return parts, nil
+	// A card starts when its first claim lands; later claims'
+	// microsecond-scale downloads overlap its execution.
+	return collectParts(results, starts, cards, fab), nil
 }
 
 // runShard walks one card through the node lifecycle for a subset of the

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Switch is one host-side PCIe switch in a cluster topology: a bandwidth-
+// limited FIFO dispatch pipe of its own, fanning out to the cards behind
+// it. Kernel downloads to a card cross the root host uplink first, then
+// serialize through the card's switch, so a congested switch delays only
+// its own subtree.
+type Switch struct {
+	// Name labels the switch in per-switch statistics. Empty names default
+	// to "sw<i>" by position.
+	Name string
+	// BW is the switch's downlink bandwidth (0 selects DefaultHost().BW).
+	BW units.Bandwidth
+	// DispatchLatency is the per-dispatch overhead this switch adds
+	// (doorbell forwarding, buffer credit turnaround).
+	DispatchLatency units.Duration
+	// Cards are the cards behind this switch, each expressed as a skew
+	// against the cluster's base card configuration. A zero CardSkew is an
+	// exact clone of the base card.
+	Cards []core.CardSkew
+}
+
+// Topology is a declarative cluster shape: a two-level tree — the shared
+// host uplink at the root, switches below it, cards at the leaves — where
+// every card may carry its own geometry skew. The zero Topology means "no
+// explicit topology": Run then builds the classic single-switch array of
+// cfg.Devices identical cards, whose output is byte-identical to the
+// pre-topology cluster layer.
+type Topology struct {
+	Switches []Switch
+}
+
+// Uniform returns the explicit form of the classic topology: one switch
+// (default bandwidth and latency) with devices identical cards.
+func Uniform(devices int) Topology {
+	if devices < 1 {
+		devices = 1
+	}
+	return Topology{Switches: []Switch{{Cards: make([]core.CardSkew, devices)}}}
+}
+
+// IsZero reports whether the topology is the implicit single-switch default.
+func (t Topology) IsZero() bool { return len(t.Switches) == 0 }
+
+// Cards returns the total card count across all switches.
+func (t Topology) Cards() int {
+	n := 0
+	for _, sw := range t.Switches {
+		n += len(sw.Cards)
+	}
+	return n
+}
+
+// String renders a compact shape summary, e.g. "sw0[2]+sw1[2]".
+func (t Topology) String() string {
+	if t.IsZero() {
+		return "uniform"
+	}
+	parts := make([]string, len(t.Switches))
+	for i, sw := range t.Switches {
+		parts[i] = fmt.Sprintf("%s[%d]", t.switchName(i), len(sw.Cards))
+	}
+	return strings.Join(parts, "+")
+}
+
+func (t Topology) switchName(i int) string {
+	if name := t.Switches[i].Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("sw%d", i)
+}
+
+// Validate reports a topology error against a base card configuration, or
+// nil: every switch needs a non-negative model and at least one card, the
+// total card count must fit the cluster cap, and every card's derived
+// configuration must itself validate.
+func (t Topology) Validate(base core.Config) error {
+	if t.IsZero() {
+		return nil
+	}
+	if n := t.Cards(); n < 1 || n > core.MaxDevices {
+		return fmt.Errorf("cluster: topology has %d cards, want [1,%d]", n, core.MaxDevices)
+	}
+	seen := map[string]bool{}
+	for i, sw := range t.Switches {
+		name := t.switchName(i)
+		if seen[name] {
+			return fmt.Errorf("cluster: duplicate switch name %q", name)
+		}
+		seen[name] = true
+		if sw.BW < 0 {
+			return fmt.Errorf("cluster: switch %s: negative bandwidth", name)
+		}
+		if sw.DispatchLatency < 0 {
+			return fmt.Errorf("cluster: switch %s: negative dispatch latency", name)
+		}
+		if len(sw.Cards) == 0 {
+			return fmt.Errorf("cluster: switch %s has no cards", name)
+		}
+		for c, skew := range sw.Cards {
+			if _, err := base.Derive(skew); err != nil {
+				return fmt.Errorf("cluster: switch %s card %d: %w", name, c, err)
+			}
+		}
+	}
+	return nil
+}
+
+// card is one flattened leaf of a topology: its global id, owning switch,
+// derived configuration, skew class (index into the deduplicated skew
+// list, shared by identically-skewed cards), and capability weight.
+type card struct {
+	id     int
+	sw     int
+	cfg    core.Config
+	class  int
+	weight float64
+}
+
+// flatten expands a validated topology into its card list plus the
+// deduplicated skew classes (class i's derived config is classCfgs[i]).
+// Cards appear in switch order then card order, so ids are deterministic.
+func flatten(t Topology, base core.Config) (cards []card, classCfgs []core.Config, err error) {
+	classOf := map[core.CardSkew]int{}
+	var classes []core.CardSkew
+	for si, sw := range t.Switches {
+		for _, skew := range sw.Cards {
+			cls, ok := classOf[skew]
+			if !ok {
+				cfg, derr := base.Derive(skew)
+				if derr != nil {
+					return nil, nil, derr
+				}
+				cls = len(classes)
+				classOf[skew] = cls
+				classes = append(classes, skew)
+				classCfgs = append(classCfgs, cfg)
+			}
+			cards = append(cards, card{
+				id:     len(cards),
+				sw:     si,
+				cfg:    classCfgs[cls],
+				class:  cls,
+				weight: classCfgs[cls].CapabilityWeight(),
+			})
+		}
+	}
+	return cards, classCfgs, nil
+}
+
+// Skewed card used by the built-in presets: half the flash channels, six
+// of eight cores, half the scratchpad — a plausible cost-reduced sibling
+// whose capability weight is well below the full card's.
+var presetSkew = core.CardSkew{Channels: 2, LWPs: 6, ScratchpadBytes: 2 * units.MB}
+
+// PresetNames lists the built-in topology presets the sweeps and the
+// -topology experiment iterate, in presentation order.
+var PresetNames = []string{"sym", "skew", "2sw-skew"}
+
+// Preset builds one of the named example topologies over the given total
+// card count (cards >= 2, even — the presets split card pools in half):
+//
+//   - "sym": two identical switches, cards/2 full cards each — a symmetric
+//     multi-switch host.
+//   - "skew": one switch where every second card is the cost-reduced
+//     skewed card — per-card geometry skew without switch asymmetry.
+//   - "2sw-skew": a full-bandwidth switch of cards/2 full cards next to a
+//     half-bandwidth, double-latency switch of cards/2 skewed cards — both
+//     axes of heterogeneity at once.
+func Preset(name string, cards int) (Topology, error) {
+	if cards < 2 || cards%2 != 0 {
+		return Topology{}, fmt.Errorf("cluster: preset %q needs an even card count >= 2, got %d", name, cards)
+	}
+	host := DefaultHost()
+	half := cards / 2
+	full := make([]core.CardSkew, half)
+	skewed := make([]core.CardSkew, half)
+	for i := range skewed {
+		skewed[i] = presetSkew
+	}
+	switch name {
+	case "sym":
+		return Topology{Switches: []Switch{
+			{Name: "sw0", BW: host.BW, DispatchLatency: host.DispatchLatency, Cards: full},
+			{Name: "sw1", BW: host.BW, DispatchLatency: host.DispatchLatency, Cards: append([]core.CardSkew(nil), full...)},
+		}}, nil
+	case "skew":
+		mixed := make([]core.CardSkew, cards)
+		for i := range mixed {
+			if i%2 == 1 {
+				mixed[i] = presetSkew
+			}
+		}
+		return Topology{Switches: []Switch{
+			{Name: "sw0", BW: host.BW, DispatchLatency: host.DispatchLatency, Cards: mixed},
+		}}, nil
+	case "2sw-skew":
+		return Topology{Switches: []Switch{
+			{Name: "sw0", BW: host.BW, DispatchLatency: host.DispatchLatency, Cards: full},
+			{Name: "sw1", BW: host.BW / 2, DispatchLatency: 2 * host.DispatchLatency, Cards: skewed},
+		}}, nil
+	}
+	return Topology{}, fmt.Errorf("cluster: unknown topology preset %q (valid: %s)", name, strings.Join(PresetNames, ", "))
+}

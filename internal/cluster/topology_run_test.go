@@ -1,0 +1,164 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Dispatching over any preset topology must conserve the workload — every
+// kernel instance completes exactly once, input bytes are unchanged — and
+// label every switch's card pool in the aggregate.
+func TestTopologyConservesWorkAndLabelsSwitches(t *testing.T) {
+	single, err := experiments.RunBundle(context.Background(), core.IntraO3, bundle(t, 256), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preset := range cluster.PresetNames {
+		topo, err := cluster.Preset(preset, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range cluster.Policies {
+			cfg := core.DefaultConfig(core.IntraO3)
+			r, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+				cluster.Options{Policy: p, Topology: topo})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", preset, p, err)
+			}
+			if r.Bytes != single.Bytes {
+				t.Errorf("%s/%s: bytes %d, single device %d", preset, p, r.Bytes, single.Bytes)
+			}
+			if len(r.KernelLatencies) != len(single.KernelLatencies) {
+				t.Errorf("%s/%s: %d kernels completed, want %d",
+					preset, p, len(r.KernelLatencies), len(single.KernelLatencies))
+			}
+			if r.WorkerUtil <= 0 || r.WorkerUtil > 1 {
+				t.Errorf("%s/%s: utilization %v outside (0,1]", preset, p, r.WorkerUtil)
+			}
+			cards := 0
+			for _, su := range r.SwitchUtils {
+				cards += su.Cards
+				if su.Util < 0 || su.Util > 1 {
+					t.Errorf("%s/%s: switch %s utilization %v outside [0,1]", preset, p, su.Switch, su.Util)
+				}
+			}
+			if cards != topo.Cards() {
+				t.Errorf("%s/%s: switch card counts sum to %d, want %d", preset, p, cards, topo.Cards())
+			}
+			if want := len(topo.Switches); len(r.SwitchUtils) != want {
+				t.Errorf("%s/%s: %d switch rows, want %d", preset, p, len(r.SwitchUtils), want)
+			}
+		}
+	}
+}
+
+// The implicit single-switch path must not grow per-switch rows: the
+// classic -devices aggregate stays shaped exactly as before topologies.
+func TestImplicitTopologyHasNoSwitchRows(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 4
+	r, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SwitchUtils != nil {
+		t.Errorf("implicit topology grew switch rows: %+v", r.SwitchUtils)
+	}
+}
+
+// Topology runs are deterministic in simulated time whatever the wall-clock
+// worker count — the property the -jobs byte-identity rests on.
+func TestTopologyDeterministicAcrossWorkers(t *testing.T) {
+	topo, err := cluster.Preset("2sw-skew", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cluster.Policies {
+		var prev interface{}
+		for _, workers := range []int{1, 4} {
+			cfg := core.DefaultConfig(core.IntraO3)
+			r, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+				cluster.Options{Policy: p, Topology: topo, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil && !reflect.DeepEqual(prev, r) {
+				t.Errorf("%s: result differs between 1 and 4 workers", p)
+			}
+			prev = r
+		}
+	}
+}
+
+// An invalid topology must be rejected before any card simulates.
+func TestTopologyRunRejectsInvalid(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	bad := cluster.Topology{Switches: []cluster.Switch{
+		{Cards: []core.CardSkew{{Channels: 3}}},
+	}}
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+		cluster.Options{Topology: bad}); err == nil {
+		t.Error("non-pow2 skew accepted")
+	}
+}
+
+// Cancelling a work-stealing run mid-claim on a two-switch skewed topology
+// must surface ctx.Err() promptly, leak no goroutines, and leave no state
+// behind that poisons a later run (the suite is reusable after a cancel).
+// Run under -race in CI, this also guards the dispatcher's concurrency.
+func TestTopologyCancelMidClaimNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	topo, err := cluster.Preset("2sw-skew", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.IntraO3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		// Paper scale + two wall-clock workers: the per-class probe phase
+		// is reliably still in flight when the cancel lands.
+		_, err := cluster.Run(ctx, cfg, bundle(t, 1),
+			cluster.Options{Policy: cluster.WorkSteal, Topology: topo, Workers: 2})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let probes get mid-kernel
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("topology run did not return promptly after cancel")
+	}
+
+	// A fresh small run on the same topology must still succeed: the cancel
+	// released every range-lock hold and simulation resource with it.
+	if _, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+		cluster.Options{Policy: cluster.WorkSteal, Topology: topo}); err != nil {
+		t.Errorf("run after cancel failed: %v", err)
+	}
+
+	// The runner pool's workers exit before Run returns; give the runtime a
+	// moment to reap them, then require the goroutine count back at baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

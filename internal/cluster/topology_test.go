@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Equal weights must reduce weighted deficit round-robin to the classic
+// i mod N rotation — the arithmetic the homogeneous byte-identity rests on.
+func TestAssignAppsUniformIsModN(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cards := make([]card, 4)
+	for i := range cards {
+		cards[i] = card{id: i, weight: cfg.CapabilityWeight()}
+	}
+	shards := assignApps(cards, 10)
+	for c, idxs := range shards {
+		for k, i := range idxs {
+			if want := c + k*len(cards); i != want {
+				t.Errorf("card %d slot %d: app %d, want %d (i mod N rotation)", c, k, i, want)
+			}
+		}
+	}
+}
+
+// A heavier card must receive proportionally more applications.
+func TestAssignAppsWeighted(t *testing.T) {
+	cards := []card{{id: 0, weight: 3}, {id: 1, weight: 1}}
+	shards := assignApps(cards, 12)
+	if len(shards[0]) != 9 || len(shards[1]) != 3 {
+		t.Errorf("weighted split %d/%d, want 9/3 for weights 3:1", len(shards[0]), len(shards[1]))
+	}
+	// Assignment is exhaustive and disjoint.
+	seen := map[int]bool{}
+	for _, s := range shards {
+		for _, i := range s {
+			if seen[i] {
+				t.Errorf("app %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("%d apps assigned, want 12", len(seen))
+	}
+}
+
+// flatten dedupes identical skews into one class and derives one config per
+// class, preserving switch-major card order.
+func TestFlattenClasses(t *testing.T) {
+	base := core.DefaultConfig(core.IntraO3)
+	topo := Topology{Switches: []Switch{
+		{Cards: []core.CardSkew{{}, presetSkew}},
+		{Cards: []core.CardSkew{presetSkew, {}}},
+	}}
+	cards, classCfgs, err := flatten(topo, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cards) != 4 || len(classCfgs) != 2 {
+		t.Fatalf("%d cards, %d classes; want 4 cards, 2 classes", len(cards), len(classCfgs))
+	}
+	if cards[0].class != 0 || cards[1].class != 1 || cards[2].class != 1 || cards[3].class != 0 {
+		t.Errorf("classes %d,%d,%d,%d; want 0,1,1,0",
+			cards[0].class, cards[1].class, cards[2].class, cards[3].class)
+	}
+	for i, c := range cards {
+		if c.id != i {
+			t.Errorf("card %d has id %d", i, c.id)
+		}
+		if c.sw != i/2 {
+			t.Errorf("card %d on switch %d, want %d", i, c.sw, i/2)
+		}
+	}
+	if full, skew := classCfgs[0].CapabilityWeight(), classCfgs[1].CapabilityWeight(); skew >= full {
+		t.Errorf("skewed capability %v not below full card %v", skew, full)
+	}
+	if classCfgs[1].Flash.Channels != 2 || classCfgs[1].LWPs != 6 {
+		t.Errorf("skewed class config not derived: %d channels, %d LWPs",
+			classCfgs[1].Flash.Channels, classCfgs[1].LWPs)
+	}
+}
+
+// The multi-switch fabric routes a dispatch through the root uplink and the
+// owning switch; a congested switch delays only its own subtree.
+func TestFabricCongestionIsPerSwitch(t *testing.T) {
+	topo := Topology{Switches: []Switch{
+		{Name: "fast", BW: 8 * units.GBps},
+		{Name: "slow", BW: 1 * units.MBps},
+	}}
+	f := newFabric(topo, DefaultHost(), true)
+	const nb = 1 * units.MB
+	slow1 := f.dispatch(0, 1, nb)
+	slow2 := f.dispatch(slow1/2, 1, nb) // queues behind slow1 on "slow"
+	fast := f.dispatch(slow1, 0, nb)    // later request, other subtree
+	if slow2 <= slow1 {
+		t.Errorf("second slow-switch dispatch %v not behind first %v", slow2, slow1)
+	}
+	if fast >= slow2 {
+		t.Errorf("fast-switch dispatch %v stuck behind slow switch %v", fast, slow2)
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	for _, name := range PresetNames {
+		topo, err := Preset(name, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if topo.Cards() != 8 {
+			t.Errorf("%s: %d cards, want 8", name, topo.Cards())
+		}
+		if err := topo.Validate(core.DefaultConfig(core.IntraO3)); err != nil {
+			t.Errorf("%s: preset does not validate: %v", name, err)
+		}
+		if s := topo.String(); s == "" || s == "uniform" {
+			t.Errorf("%s: shape string %q", name, s)
+		}
+	}
+	if _, err := Preset("sym", 3); err == nil {
+		t.Error("odd card count accepted")
+	}
+	if _, err := Preset("sym", 0); err == nil {
+		t.Error("zero card count accepted")
+	}
+	if _, err := Preset("nope", 4); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown preset error %v does not name the preset", err)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	base := core.DefaultConfig(core.IntraO3)
+	cases := []struct {
+		name string
+		topo Topology
+		want string // error substring; "" means valid
+	}{
+		{"zero is valid", Topology{}, ""},
+		{"uniform is valid", Uniform(4), ""},
+		{"empty switch", Topology{Switches: []Switch{
+			{Cards: make([]core.CardSkew, 1)}, {},
+		}}, "no cards"},
+		{"negative bw", Topology{Switches: []Switch{{BW: -1, Cards: make([]core.CardSkew, 1)}}}, "negative bandwidth"},
+		{"negative latency", Topology{Switches: []Switch{{DispatchLatency: -1, Cards: make([]core.CardSkew, 1)}}}, "negative dispatch latency"},
+		{"duplicate names", Topology{Switches: []Switch{
+			{Name: "x", Cards: make([]core.CardSkew, 1)},
+			{Name: "x", Cards: make([]core.CardSkew, 1)},
+		}}, "duplicate switch name"},
+		{"too many cards", Uniform(core.MaxDevices + 1), "cards"},
+		{"bad skew", Topology{Switches: []Switch{
+			{Cards: []core.CardSkew{{Channels: 3}}},
+		}}, "power of two"},
+	}
+	for _, tc := range cases {
+		err := tc.topo.Validate(base)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -96,6 +96,11 @@ type Config struct {
 	Host        host.Config
 	Rates       power.Rates
 
+	// ScratchpadBytes overrides the scratchpad capacity (0 selects the
+	// prototype's 4 MB). Heterogeneous cluster topologies scale it per
+	// card; the Flashvisor mapping table must still fit.
+	ScratchpadBytes int64
+
 	// Functional stores real page payloads and runs EXEC builtins; leave
 	// it off for the paper-scale timing sweeps.
 	Functional bool
@@ -140,6 +145,85 @@ func (c Config) workerCount() int {
 	return c.LWPs - 2
 }
 
+// WorkerCount returns the resolved compute-core count — the Workers knob,
+// or the paper's split when Workers is 0. Cluster dispatchers weight cards
+// by it.
+func (c Config) WorkerCount() int { return c.workerCount() }
+
+// CapabilityWeight scores a card's relative capability for capability-
+// weighted dispatch: compute parallelism (resolved worker count) times
+// flash-side parallelism (channel count). Identical cards score equally,
+// so homogeneous topologies reduce to unweighted dispatch.
+func (c Config) CapabilityWeight() float64 {
+	return float64(c.workerCount()) * float64(c.Flash.Channels)
+}
+
+// CardSkew describes one card's deviation from a base device Config in a
+// heterogeneous cluster topology. Zero fields inherit the base value; set
+// fields override it. The skewable knobs are the geometry dimensions the
+// paper's self-governing argument cares about: flash parallelism, erase-
+// unit size, core count, and mapping-table headroom.
+type CardSkew struct {
+	Channels        int   // flash channel count (power of two)
+	PagesPerBlock   int   // pages per block, i.e. superblock size (power of two)
+	LWPs            int   // total core count
+	ScratchpadBytes int64 // scratchpad capacity (power of two)
+}
+
+// IsZero reports whether the skew inherits every base value.
+func (k CardSkew) IsZero() bool { return k == CardSkew{} }
+
+func pow2(n int64) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate reports a skew error, or nil. Overrides must be positive powers
+// of two (the FTL's shift/mask hot paths and the page-group layout assume
+// pow2 channel and page counts); zero means inherit.
+func (k CardSkew) Validate() error {
+	if k.Channels != 0 && !pow2(int64(k.Channels)) {
+		return fmt.Errorf("core: skew channels %d not a positive power of two", k.Channels)
+	}
+	if k.PagesPerBlock != 0 && !pow2(int64(k.PagesPerBlock)) {
+		return fmt.Errorf("core: skew pages-per-block %d not a positive power of two", k.PagesPerBlock)
+	}
+	if k.LWPs < 0 {
+		return fmt.Errorf("core: skew LWPs %d negative", k.LWPs)
+	}
+	if k.ScratchpadBytes != 0 && !pow2(k.ScratchpadBytes) {
+		return fmt.Errorf("core: skew scratchpad %d bytes not a positive power of two", k.ScratchpadBytes)
+	}
+	return nil
+}
+
+// Derive specializes a base card configuration to one skewed card and
+// validates the result, so a topology of heterogeneous cards is expressed
+// as one base Config plus per-card deltas. The derived config is a single
+// card: Devices is cleared, and Workers is re-resolved from the (possibly
+// skewed) LWP count rather than inherited.
+func (c Config) Derive(k CardSkew) (Config, error) {
+	if err := k.Validate(); err != nil {
+		return Config{}, err
+	}
+	d := c
+	d.Devices = 0
+	if k.Channels != 0 {
+		d.Flash.Channels = k.Channels
+	}
+	if k.PagesPerBlock != 0 {
+		d.Flash.PagesPerBlock = k.PagesPerBlock
+	}
+	if k.LWPs != 0 {
+		d.LWPs = k.LWPs
+		d.Workers = 0 // re-resolve the paper's split for the new core count
+	}
+	if k.ScratchpadBytes != 0 {
+		d.ScratchpadBytes = k.ScratchpadBytes
+	}
+	if err := d.Validate(); err != nil {
+		return Config{}, fmt.Errorf("core: derived card config: %w", err)
+	}
+	return d, nil
+}
+
 // MaxDevices bounds the cluster topology knob: enough cards for every
 // scaling study the evaluation runs while keeping a single host switch
 // plausible.
@@ -162,6 +246,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.CostModel.Validate(); err != nil {
 		return err
+	}
+	if err := c.Flash.Validate(); err != nil {
+		return err
+	}
+	if c.ScratchpadBytes < 0 {
+		return fmt.Errorf("core: negative scratchpad size %d", c.ScratchpadBytes)
 	}
 	if c.CollectSeries && c.SeriesBin <= 0 {
 		return fmt.Errorf("core: series collection needs a positive bin")

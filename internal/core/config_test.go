@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Table-driven bounds for the base configuration: every rejection names
+// what was wrong, every accepted tweak stays accepted.
+func TestConfigValidateTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(*Config)
+		want  string // error substring; "" means valid
+	}{
+		{"default", func(*Config) {}, ""},
+		{"devices at cap", func(c *Config) { c.Devices = MaxDevices }, ""},
+		{"devices beyond cap", func(c *Config) { c.Devices = MaxDevices + 1 }, "devices outside"},
+		{"negative devices", func(c *Config) { c.Devices = -1 }, "devices outside"},
+		{"zero LWPs", func(c *Config) { c.LWPs = 0 }, "LWPs"},
+		{"workers beyond LWPs", func(c *Config) { c.Workers = 99 }, "workers outside"},
+		{"flashabacus two LWPs", func(c *Config) { c.LWPs = 2 }, "workers outside"},
+		{"zero flash channels", func(c *Config) { c.Flash.Channels = 0 }, "geometry"},
+		{"negative page size", func(c *Config) { c.Flash.PageSize = -1 }, "page organization"},
+		{"meta pages overflow", func(c *Config) { c.Flash.MetaPages = c.Flash.PagesPerBlock }, "metadata pages"},
+		{"negative scratchpad", func(c *Config) { c.ScratchpadBytes = -4 }, "negative scratchpad"},
+		{"explicit scratchpad", func(c *Config) { c.ScratchpadBytes = 8 * units.MB }, ""},
+		{"series without bin", func(c *Config) { c.CollectSeries = true; c.SeriesBin = 0 }, "positive bin"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(IntraO3)
+		tc.tweak(&cfg)
+		err := cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Table-driven per-card derivation: skews override only what they name,
+// non-pow2 and degenerate skews are rejected with messages naming the knob.
+func TestConfigDeriveTable(t *testing.T) {
+	cases := []struct {
+		name string
+		skew CardSkew
+		want string // error substring; "" means valid
+		chk  func(t *testing.T, d Config)
+	}{
+		{"zero skew clones base", CardSkew{}, "", func(t *testing.T, d Config) {
+			base := DefaultConfig(IntraO3)
+			base.Devices = 0
+			if d != base {
+				t.Errorf("zero skew drifted from base:\n got %+v\nwant %+v", d, base)
+			}
+		}},
+		{"half channels", CardSkew{Channels: 2}, "", func(t *testing.T, d Config) {
+			if d.Flash.Channels != 2 {
+				t.Errorf("channels %d, want 2", d.Flash.Channels)
+			}
+			if d.Flash.Capacity() >= DefaultConfig(IntraO3).Flash.Capacity() {
+				t.Error("halving channels did not shrink capacity")
+			}
+		}},
+		{"superblock skew", CardSkew{PagesPerBlock: 128}, "", func(t *testing.T, d Config) {
+			if d.Flash.PagesPerBlock != 128 {
+				t.Errorf("pages per block %d, want 128", d.Flash.PagesPerBlock)
+			}
+		}},
+		{"LWP skew re-resolves workers", CardSkew{LWPs: 6}, "", func(t *testing.T, d Config) {
+			if d.LWPs != 6 || d.WorkerCount() != 4 {
+				t.Errorf("LWPs %d workers %d, want 6 and 4 (paper split)", d.LWPs, d.WorkerCount())
+			}
+		}},
+		{"scratchpad skew", CardSkew{ScratchpadBytes: 2 * units.MB}, "", func(t *testing.T, d Config) {
+			if d.ScratchpadBytes != 2*units.MB {
+				t.Errorf("scratchpad %d, want 2 MB", d.ScratchpadBytes)
+			}
+		}},
+		{"non-pow2 channels", CardSkew{Channels: 3}, "channels 3 not a positive power of two", nil},
+		{"negative channels", CardSkew{Channels: -4}, "power of two", nil},
+		{"non-pow2 pages", CardSkew{PagesPerBlock: 100}, "pages-per-block 100", nil},
+		{"negative LWPs", CardSkew{LWPs: -1}, "LWPs -1 negative", nil},
+		{"non-pow2 scratchpad", CardSkew{ScratchpadBytes: 3 * units.MB}, "scratchpad", nil},
+		{"too few LWPs for flashabacus", CardSkew{LWPs: 2}, "workers outside", nil},
+	}
+	base := DefaultConfig(IntraO3)
+	for _, tc := range cases {
+		d, err := base.Derive(tc.skew)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+				continue
+			}
+			if tc.chk != nil {
+				tc.chk(t, d)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if !(CardSkew{}).IsZero() || (CardSkew{Channels: 2}).IsZero() {
+		t.Error("IsZero misclassifies skews")
+	}
+}
+
+// A derived card must actually build: the skewed preset card's mapping
+// table still fits its halved scratchpad, and the device assembles.
+func TestDerivedCardBuilds(t *testing.T) {
+	base := DefaultConfig(IntraO3)
+	d, err := base.Derive(CardSkew{Channels: 2, LWPs: 6, ScratchpadBytes: 2 * units.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d); err != nil {
+		t.Fatalf("derived card does not build: %v", err)
+	}
+	// A scratchpad too small for the mapping table fails at build time.
+	tiny, err := base.Derive(CardSkew{ScratchpadBytes: 64 * units.KB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tiny); err == nil || !strings.Contains(err.Error(), "mapping table") {
+		t.Errorf("64 KB scratchpad error %v, want mapping-table rejection", err)
+	}
+}

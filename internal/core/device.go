@@ -132,7 +132,11 @@ func New(cfg Config) (*Device, error) {
 	if d.ddr, err = mem.New(mem.DDR3LConfig()); err != nil {
 		return nil, err
 	}
-	if d.spad, err = mem.New(mem.ScratchpadConfig()); err != nil {
+	spadCfg := mem.ScratchpadConfig()
+	if cfg.ScratchpadBytes > 0 {
+		spadCfg.Size = cfg.ScratchpadBytes
+	}
+	if d.spad, err = mem.New(spadCfg); err != nil {
 		return nil, err
 	}
 	if d.link, err = pcie.New(cfg.PCIe); err != nil {

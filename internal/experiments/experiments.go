@@ -46,6 +46,10 @@ const (
 	// scaling study: the bundle sharded across Devices cards by the
 	// internal/cluster dispatcher.
 	KindCluster
+	// KindTopology is one (workload, topology preset, total cards, policy)
+	// cell of the heterogeneous-topology sweep: the bundle dispatched over
+	// a multi-switch and/or geometry-skewed card tree.
+	KindTopology
 )
 
 // Job names one cached device simulation: a workload cell (application,
@@ -63,8 +67,9 @@ type Job struct {
 	Cores int // worker count (KindSensitivity)
 	Pct   int // serial instruction percentage (KindSensitivity)
 
-	Devices int            // card count (KindCluster)
-	Policy  cluster.Policy // dispatch policy (KindCluster)
+	Devices int            // card count (KindCluster, KindTopology)
+	Policy  cluster.Policy // dispatch policy (KindCluster, KindTopology)
+	Topo    string         // topology preset name (KindTopology)
 }
 
 func (j Job) String() string {
@@ -77,6 +82,8 @@ func (j Job) String() string {
 		return fmt.Sprintf("MX%d-series/%s", j.Mix, j.Sys)
 	case KindCluster:
 		return fmt.Sprintf("cluster-%s@%dx%s/%s", j.workloadName(), j.Devices, j.Policy, j.Sys)
+	case KindTopology:
+		return fmt.Sprintf("topo-%s-%s@%dx%s/%s", j.Topo, j.workloadName(), j.Devices, j.Policy, j.Sys)
 	default:
 		return fmt.Sprintf("%s/%s", j.Name, j.Sys)
 	}
@@ -98,7 +105,7 @@ func (j Job) bundle(o workload.Options) (*workload.Bundle, error) {
 		return workload.Homogeneous(j.Name, o)
 	case KindHeterogeneous, KindSeries:
 		return workload.Mix(j.Mix, o)
-	case KindCluster:
+	case KindCluster, KindTopology:
 		if j.Name != "" {
 			return workload.Homogeneous(j.Name, o)
 		}
@@ -222,6 +229,14 @@ func RunCluster(ctx context.Context, sys core.System, devices int, policy cluste
 	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy})
 }
 
+// RunTopology dispatches a workload bundle over an explicit cluster
+// topology — a tree of switches fanning out to possibly-skewed cards —
+// with the default configuration as the base card every skew derives from.
+func RunTopology(ctx context.Context, sys core.System, topo cluster.Topology, policy cluster.Policy, b *workload.Bundle) (*stats.Result, error) {
+	cfg := core.DefaultConfig(sys)
+	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy, Topology: topo})
+}
+
 // Run returns job j's result, simulating it on first request. Concurrent
 // requests for the same cell share one simulation. A run that fails only
 // because its context was cancelled is evicted, so a later call with a
@@ -279,6 +294,14 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 		cfg := core.DefaultConfig(j.Sys)
 		cfg.Devices = j.Devices
 		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1})
+	case KindTopology:
+		topo, err := cluster.Preset(j.Topo, j.Devices)
+		if err != nil {
+			return nil, err
+		}
+		// Workers: 1 for the same reason as the KindCluster case above.
+		cfg := core.DefaultConfig(j.Sys)
+		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Topology: topo})
 	default:
 		return RunBundle(ctx, j.Sys, b, false)
 	}
@@ -319,7 +342,7 @@ func (s *Suite) Bigdata(ctx context.Context, name string, sys core.System) (*sta
 var CachedExperimentIDs = []string{
 	"fig3b", "fig3c", "fig3d", "fig3e", "fig10a", "fig10b", "fig11a", "fig11b",
 	"fig12", "fig13a", "fig13b", "fig14a", "fig14b", "fig15", "fig16a", "fig16b",
-	"cluster",
+	"cluster", "topology",
 }
 
 // Cluster scaling study shape: representative workloads (a data-intensive
@@ -363,6 +386,35 @@ func clusterCells(counts []int) []Job {
 				j := base
 				j.Devices, j.Policy = d, p
 				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// Heterogeneous-topology sweep shape: every built-in preset (symmetric
+// two-switch, per-card skew, two-switch + skew) over a doubling total card
+// count, on the representative heterogeneous mix. Both dispatch policies
+// run on every shape, so the sweep shows the work-stealing governor
+// exploiting capability differences the static rotation cannot.
+var (
+	TopologyPresets   = cluster.PresetNames
+	TopologyCards     = []int{2, 4, 8}
+	TopologyMix       = 1
+	TopologyUtilCards = 8 // card count the per-switch utilization table reads
+)
+
+// topologyCells enumerates the heterogeneous-topology sweep in
+// (preset, cards, policy) order — the order the render's rows consume.
+func topologyCells() []Job {
+	var out []Job
+	for _, preset := range TopologyPresets {
+		for _, n := range TopologyCards {
+			for _, p := range cluster.Policies {
+				out = append(out, Job{
+					Kind: KindTopology, Mix: TopologyMix, Sys: ClusterSys,
+					Topo: preset, Devices: n, Policy: p,
+				})
 			}
 		}
 	}
@@ -460,6 +512,8 @@ func Cells(id string) []Job {
 		return homogAll(workload.BigdataNames(), KindBigdata)
 	case "cluster":
 		return clusterCells(ClusterDeviceCounts)
+	case "topology":
+		return topologyCells()
 	}
 	return nil
 }
@@ -960,6 +1014,50 @@ func (s *Suite) Cluster(ctx context.Context) (string, error) {
 		}
 	}
 	return tput.String() + "\n" + energy.String() + "\n", nil
+}
+
+// Topology renders the heterogeneous-topology sweep: aggregate throughput
+// versus total card count for every preset shape and policy, plus the
+// per-switch utilization split at the widest shape — where a congested or
+// under-provisioned switch shows up as a utilization gap against its
+// sibling. The cells are ordinary suite jobs, so a prewarm that included
+// the topology experiment makes this pure assembly.
+func (s *Suite) Topology(ctx context.Context) (string, error) {
+	hdr := []string{"topology", "policy"}
+	for _, n := range TopologyCards {
+		hdr = append(hdr, fmt.Sprintf("%d cards", n))
+	}
+	tput := &report.Table{
+		Title:  fmt.Sprintf("Topology scaling: aggregate throughput (MB/s, MX%d on %s)", TopologyMix, ClusterSys),
+		Header: hdr,
+	}
+	util := &report.Table{
+		Title:  fmt.Sprintf("Topology per-switch utilization (%%, %d cards)", TopologyUtilCards),
+		Header: []string{"topology", "policy", "switch", "cards", "util"},
+	}
+	for _, preset := range TopologyPresets {
+		for _, p := range cluster.Policies {
+			row := []interface{}{preset, clusterPolicyName(p)}
+			for _, n := range TopologyCards {
+				r, err := s.Run(ctx, Job{
+					Kind: KindTopology, Mix: TopologyMix, Sys: ClusterSys,
+					Topo: preset, Devices: n, Policy: p,
+				})
+				if err != nil {
+					return "", err
+				}
+				row = append(row, fmt.Sprintf("%.1f", r.ThroughputMBps()))
+				if n == TopologyUtilCards {
+					for _, su := range r.SwitchUtils {
+						util.Add(preset, clusterPolicyName(p), su.Switch, su.Cards,
+							fmt.Sprintf("%.1f", su.Util*100))
+					}
+				}
+			}
+			tput.Add(row...)
+		}
+	}
+	return tput.String() + "\n" + util.String() + "\n", nil
 }
 
 func systemNames() []string {

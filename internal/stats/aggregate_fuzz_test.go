@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// partsFromSeed deterministically synthesizes k per-card results driven by
+// a fuzzer-chosen seed: plausible makespans, latencies, completions, utils
+// in [0,1], switch labels, and the occasional idle (nil-Res) card.
+func partsFromSeed(seed int64, k int) []Part {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]Part, 0, k)
+	for i := 0; i < k; i++ {
+		sw := []string{"", "sw0", "sw1"}[rng.Intn(3)]
+		if rng.Intn(8) == 0 {
+			parts = append(parts, Part{Switch: sw}) // idle card
+			continue
+		}
+		res := &Result{
+			System:     "IntraO3",
+			Workload:   "MX1",
+			Makespan:   units.Duration(1 + rng.Int63n(1e9)),
+			Bytes:      rng.Int63n(1 << 30),
+			WorkerUtil: rng.Float64(),
+			AccelTime:  units.Duration(rng.Int63n(1e9)),
+			SSDTime:    units.Duration(rng.Int63n(1e9)),
+			StackTime:  units.Duration(rng.Int63n(1e9)),
+		}
+		res.Energy[power.Compute] = rng.Float64() * 10
+		res.Energy[power.Storage] = rng.Float64() * 10
+		res.Energy[power.DataMove] = rng.Float64() * 10
+		for n := rng.Intn(6); n > 0; n-- {
+			lat := units.Duration(1 + rng.Int63n(1e8))
+			res.KernelLatencies = append(res.KernelLatencies, lat)
+			res.CompletionTimes = append(res.CompletionTimes, sim.Time(rng.Int63n(int64(res.Makespan))))
+		}
+		parts = append(parts, Part{
+			Res:    res,
+			Offset: units.Duration(rng.Int63n(1e8)),
+			Switch: sw,
+		})
+	}
+	return parts
+}
+
+// sortedDurations returns a sorted copy, the canonical form for comparing
+// concatenation-ordered slices across part shuffles.
+func sortedDurations(in []units.Duration) []units.Duration {
+	out := append([]units.Duration(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedTimes(in []sim.Time) []sim.Time {
+	out := append([]sim.Time(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// approx compares floats to a relative 1e-9, absorbing the reassociation
+// noise a shuffle introduces into float accumulators.
+func approx(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if m := a; m > scale {
+		scale = m
+	}
+	return diff <= 1e-9*scale
+}
+
+func equalDurations(a, b []units.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTimes(a, b []sim.Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzAggregateOrderIndependence: merging K shuffled per-card results must
+// not depend on part order for any order-free quantity — sums, makespan,
+// utilization, and the multisets of latencies and shifted completions.
+func FuzzAggregateOrderIndependence(f *testing.F) {
+	f.Add(int64(1), 4)
+	f.Add(int64(42), 9)
+	f.Add(int64(-7), 1)
+	f.Fuzz(func(t *testing.T, seed int64, k int) {
+		k = k%16 + 1
+		if k < 1 {
+			k += 16
+		}
+		parts := partsFromSeed(seed, k)
+		devices := len(parts) + 2 // a couple of cards never received work
+		base := Aggregate("IntraO3", "MX1", devices, parts)
+
+		shuffled := append([]Part(nil), parts...)
+		rand.New(rand.NewSource(seed^0x5eed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		again := Aggregate("IntraO3", "MX1", devices, shuffled)
+
+		if base.Bytes != again.Bytes || base.Makespan != again.Makespan {
+			t.Fatalf("order-dependent sums: bytes %d vs %d, makespan %v vs %v",
+				base.Bytes, again.Bytes, base.Makespan, again.Makespan)
+		}
+		// Float accumulators are commutative but not associative: shuffles
+		// may move the last few ulps, never more.
+		if !approx(base.WorkerUtil, again.WorkerUtil) {
+			t.Fatalf("order-dependent utilization: %v vs %v", base.WorkerUtil, again.WorkerUtil)
+		}
+		for c := range base.Energy {
+			if !approx(base.Energy[c], again.Energy[c]) {
+				t.Fatalf("order-dependent energy[%d]: %v vs %v", c, base.Energy[c], again.Energy[c])
+			}
+		}
+		if !equalDurations(sortedDurations(base.KernelLatencies), sortedDurations(again.KernelLatencies)) {
+			t.Fatal("latency multiset differs across shuffles")
+		}
+		if !equalTimes(sortedTimes(base.CompletionTimes), sortedTimes(again.CompletionTimes)) {
+			t.Fatal("completion multiset differs across shuffles")
+		}
+		// Per-switch rows are keyed by label: same totals in any order.
+		sumBy := func(r *Result) map[string]int {
+			m := map[string]int{}
+			for _, su := range r.SwitchUtils {
+				m[su.Switch] += su.Cards
+			}
+			return m
+		}
+		b, a := sumBy(base), sumBy(again)
+		if len(b) != len(a) {
+			t.Fatalf("switch row count differs: %v vs %v", b, a)
+		}
+		for name, cards := range b {
+			if a[name] != cards {
+				t.Fatalf("switch %s cards differ: %d vs %d", name, cards, a[name])
+			}
+		}
+	})
+}
+
+// FuzzAggregateInvariants: for any synthesized cluster, completion shifting
+// preserves every completion exactly once (no collisions between a part's
+// local count and the aggregate), the makespan covers every part's finish,
+// and utilization stays in [0,1] when per-part utils do.
+func FuzzAggregateInvariants(f *testing.F) {
+	f.Add(int64(3), 5)
+	f.Add(int64(99), 12)
+	f.Fuzz(func(t *testing.T, seed int64, k int) {
+		k = k%16 + 1
+		if k < 1 {
+			k += 16
+		}
+		parts := partsFromSeed(seed, k)
+		devices := len(parts)
+		r := Aggregate("IntraO3", "MX1", devices, parts)
+
+		wantComps := 0
+		for _, p := range parts {
+			if p.Res == nil {
+				continue
+			}
+			wantComps += len(p.Res.CompletionTimes)
+			if fin := p.Offset + p.Res.Makespan; fin > r.Makespan {
+				t.Fatalf("part finishing at %v exceeds aggregate makespan %v", fin, r.Makespan)
+			}
+			// Every shifted completion of this part appears in the aggregate.
+			for _, c := range p.Res.CompletionTimes {
+				found := false
+				for _, ac := range r.CompletionTimes {
+					if ac == c+p.Offset {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("completion %v+%v lost in aggregate", c, p.Offset)
+				}
+			}
+		}
+		if len(r.CompletionTimes) != wantComps {
+			t.Fatalf("%d aggregate completions, want %d — offsets collided or dropped",
+				len(r.CompletionTimes), wantComps)
+		}
+		if len(r.KernelLatencies) != wantComps {
+			t.Fatalf("%d latencies vs %d completions", len(r.KernelLatencies), wantComps)
+		}
+		if r.WorkerUtil < 0 || r.WorkerUtil > 1 {
+			t.Fatalf("aggregate utilization %v outside [0,1]", r.WorkerUtil)
+		}
+		for _, su := range r.SwitchUtils {
+			if su.Util < 0 || su.Util > 1 {
+				t.Fatalf("switch %s utilization %v outside [0,1]", su.Switch, su.Util)
+			}
+			if su.Cards < 1 {
+				t.Fatalf("switch %s has %d cards", su.Switch, su.Cards)
+			}
+		}
+	})
+}
+
+// The CDF of an aggregate is non-decreasing in time with one step per
+// completion — the property the Fig. 12 renders rely on.
+func TestAggregateCDFMonotone(t *testing.T) {
+	r := Aggregate("IntraO3", "MX1", 4, partsFromSeed(7, 8))
+	cdf := r.CDF()
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Time < cdf[i-1].Time || cdf[i].Completed != cdf[i-1].Completed+1 {
+			t.Fatalf("CDF step %d not monotone: %+v after %+v", i, cdf[i], cdf[i-1])
+		}
+	}
+}

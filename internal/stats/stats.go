@@ -45,6 +45,11 @@ type Result struct {
 	FUSeries    []float64
 	PowerSeries []float64
 
+	// SwitchUtils breaks worker utilization down by host-side PCIe switch
+	// (nil unless the run used a labeled multi-switch topology), in the
+	// topology's switch order.
+	SwitchUtils []SwitchUtil
+
 	Visor         flashvisor.Stats
 	BGReclaims    int64
 	Journals      int64
@@ -111,10 +116,26 @@ func (r *Result) BreakdownFracs() (accel, ssd, stack float64) {
 
 // Part is one node's contribution to a cluster aggregate: the node-local
 // result plus the host-level time offset at which the node's run began
-// (its dispatch completion on the shared host link).
+// (its dispatch completion on the shared host link). Switch optionally
+// names the PCIe switch the node sits behind in a multi-switch topology;
+// parts sharing a label aggregate into one per-switch utilization row. A
+// part with a nil Res is an idle card: it contributes nothing but still
+// counts toward its switch's card count (and so dilutes its utilization),
+// exactly like idle cards dilute the cluster-wide WorkerUtil.
 type Part struct {
 	Res    *Result
 	Offset units.Duration
+	Switch string
+}
+
+// SwitchUtil is the per-switch slice of a cluster aggregate: how many cards
+// sit behind one switch and their average worker utilization over the
+// cluster makespan. A congested or under-provisioned switch shows up here
+// as a utilization gap against its sibling subtrees.
+type SwitchUtil struct {
+	Switch string
+	Cards  int
+	Util   float64
 }
 
 // Aggregate merges per-node results of a cluster run into one cluster-level
@@ -128,7 +149,28 @@ func Aggregate(system, workload string, devices int, parts []Part) *Result {
 	r := &Result{System: system, Workload: workload}
 	var utilWeighted float64
 	comps := map[string]*power.Entry{}
+	type swAcc struct {
+		cards        int
+		utilWeighted float64
+	}
+	var swOrder []string
+	sws := map[string]*swAcc{}
 	for _, p := range parts {
+		if p.Switch != "" {
+			a := sws[p.Switch]
+			if a == nil {
+				a = &swAcc{}
+				sws[p.Switch] = a
+				swOrder = append(swOrder, p.Switch)
+			}
+			a.cards++
+			if p.Res != nil {
+				a.utilWeighted += p.Res.WorkerUtil * float64(p.Res.Makespan)
+			}
+		}
+		if p.Res == nil {
+			continue // idle card: counted above, nothing to merge
+		}
 		res := p.Res
 		if fin := p.Offset + res.Makespan; fin > r.Makespan {
 			r.Makespan = fin
@@ -167,6 +209,14 @@ func Aggregate(system, workload string, devices int, parts []Part) *Result {
 	}
 	if r.Makespan > 0 && devices > 0 {
 		r.WorkerUtil = utilWeighted / (float64(devices) * float64(r.Makespan))
+	}
+	for _, name := range swOrder {
+		a := sws[name]
+		u := SwitchUtil{Switch: name, Cards: a.cards}
+		if r.Makespan > 0 && a.cards > 0 {
+			u.Util = a.utilWeighted / (float64(a.cards) * float64(r.Makespan))
+		}
+		r.SwitchUtils = append(r.SwitchUtils, u)
 	}
 	names := make([]string, 0, len(comps))
 	for name := range comps {
