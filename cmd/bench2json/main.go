@@ -1,0 +1,220 @@
+// Command bench2json converts `go test -bench` text output into the
+// BENCH_suite.json perf-trajectory artifact and (non-gating) compares it
+// against a previous artifact.
+//
+// The JSON carries, per benchmark, the metrics benchstat reports — ns/op,
+// B/op, allocs/op, and any custom -ReportMetric columns — plus the raw
+// result line and the goos/goarch/cpu header, so the original
+// benchstat-consumable text can be reconstructed from the artifact alone.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... ./... | bench2json -o BENCH_suite.json [-baseline BENCH_suite.json]
+//
+// The compare step prints per-benchmark deltas and always exits 0 on valid
+// input: the artifact tracks the trajectory, CI does not gate on it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Raw         string             `json:"raw"`
+}
+
+// Artifact is the whole BENCH_suite.json document.
+type Artifact struct {
+	Header     []string    `json:"header"` // goos/goarch/pkg/cpu lines, in input order
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// resultLine matches a benchmark result: name, iteration count, then
+// value/unit metric pairs.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// headerLine matches the context lines benchstat keys environments on.
+var headerLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):`)
+
+// parse reads `go test -bench` output into an artifact. Benchmark names
+// drop the trailing -GOMAXPROCS suffix so artifacts compare across
+// machines with different core counts.
+func parse(r io.Reader) (*Artifact, error) {
+	a := &Artifact{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		if headerLine.MatchString(line) {
+			a.Header = append(a.Header, line)
+			continue
+		}
+		m := resultLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(m[1]), Iterations: iters, Raw: line}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		a.Benchmarks = append(a.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// trimProcs removes the -N GOMAXPROCS suffix go test appends to names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func trimProcs(name string) string { return procsSuffix.ReplaceAllString(name, "") }
+
+// compare prints per-benchmark ns/op and allocs/op deltas of cur against
+// base. It reports, never gates.
+func compare(w io.Writer, base, cur *Artifact) {
+	prev := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-55s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	for _, b := range cur.Benchmarks {
+		p, ok := prev[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %14s %14.0f %8s %12s\n", b.Name, "-", b.NsPerOp, "new", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-55s %14.0f %14.0f %7.1f%% %12s\n",
+			b.Name, p.NsPerOp, b.NsPerOp, pct(p.NsPerOp, b.NsPerOp), allocsDelta(p, b))
+	}
+	for _, p := range base.Benchmarks {
+		found := false
+		for _, b := range cur.Benchmarks {
+			if b.Name == p.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%-55s %14.0f %14s %8s %12s\n", p.Name, p.NsPerOp, "-", "gone", "-")
+		}
+	}
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func allocsDelta(old, new Benchmark) string {
+	if old.AllocsPerOp == 0 && new.AllocsPerOp == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pct(old.AllocsPerOp, new.AllocsPerOp))
+}
+
+// config holds the parsed flags; split out so tests drive run directly.
+type config struct {
+	out      string
+	baseline string
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("bench2json", flag.ContinueOnError)
+	var c config
+	fs.StringVar(&c.out, "o", "BENCH_suite.json", "output artifact path (\"-\" for stdout)")
+	fs.StringVar(&c.baseline, "baseline", "", "previous artifact to compare against (missing file: skip compare)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if fs.NArg() != 0 {
+		return c, fmt.Errorf("bench2json: unexpected arguments %v (bench text is read from stdin)", fs.Args())
+	}
+	return c, nil
+}
+
+func run(c config, in io.Reader, w io.Writer) error {
+	a, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(a.Benchmarks) == 0 {
+		return fmt.Errorf("bench2json: no benchmark result lines on stdin")
+	}
+	if c.baseline != "" {
+		if raw, err := os.ReadFile(c.baseline); err == nil {
+			var base Artifact
+			if err := json.Unmarshal(raw, &base); err != nil {
+				fmt.Fprintf(w, "bench2json: baseline %s unreadable (%v), skipping compare\n", c.baseline, err)
+			} else {
+				fmt.Fprintf(w, "perf trajectory vs %s (informational, non-gating):\n", c.baseline)
+				compare(w, &base, a)
+			}
+		} else {
+			fmt.Fprintf(w, "bench2json: no baseline at %s, skipping compare\n", c.baseline)
+		}
+	}
+	blob, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if c.out == "-" {
+		_, err = w.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(c.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench2json: wrote %d benchmarks to %s\n", len(a.Benchmarks), c.out)
+	return nil
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(c, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

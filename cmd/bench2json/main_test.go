@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSuitePrewarmSequential-8 	       5	 143811038 ns/op	       254.0 cells	93502832 B/op	  474721 allocs/op
+BenchmarkClusterScaling/work-steal/devices=8-8  	 3	14188184 ns/op	 236.04 MB/s	131524616 B/op	   14127 allocs/op
+PASS
+ok  	repro	2.633s
+goos: linux
+pkg: repro/internal/sim
+BenchmarkEngineScheduleStep-8 	199674096	        12.04 ns/op	       0 B/op	       0 allocs/op
+`
+
+func TestParseExtractsMetricsAndHeader(t *testing.T) {
+	a, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(a.Benchmarks))
+	}
+	b := a.Benchmarks[0]
+	if b.Name != "BenchmarkSuitePrewarmSequential" {
+		t.Errorf("GOMAXPROCS suffix not trimmed: %q", b.Name)
+	}
+	if b.NsPerOp != 143811038 || b.AllocsPerOp != 474721 || b.BytesPerOp != 93502832 {
+		t.Errorf("core metrics wrong: %+v", b)
+	}
+	if b.Metrics["cells"] != 254 {
+		t.Errorf("custom metric lost: %v", b.Metrics)
+	}
+	if cs := a.Benchmarks[1]; cs.Name != "BenchmarkClusterScaling/work-steal/devices=8" || cs.Metrics["MB/s"] != 236.04 {
+		t.Errorf("sub-benchmark parse wrong: %+v", cs)
+	}
+	if len(a.Header) != 6 {
+		t.Errorf("parsed %d header lines, want 6", len(a.Header))
+	}
+	// The raw lines reconstruct benchstat-consumable text.
+	if !strings.Contains(a.Benchmarks[2].Raw, "12.04 ns/op") {
+		t.Errorf("raw line lost: %q", a.Benchmarks[2].Raw)
+	}
+}
+
+func TestRunWritesArtifactAndCompares(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_suite.json")
+
+	var log strings.Builder
+	if err := run(config{out: out}, strings.NewReader(sample), &log); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+
+	// Second run compares against the first: a faster engine shows up as a
+	// delta line, and the process still succeeds (non-gating).
+	faster := strings.Replace(sample, "12.04 ns/op", "24.08 ns/op", 1)
+	log.Reset()
+	out2 := filepath.Join(dir, "next.json")
+	if err := run(config{out: out2, baseline: out}, strings.NewReader(faster), &log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "BenchmarkEngineScheduleStep") || !strings.Contains(log.String(), "100.0%") {
+		t.Errorf("compare output missing regression delta:\n%s", log.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(config{out: "-"}, strings.NewReader("no benches here\n"), &strings.Builder{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	c, err := parseFlags([]string{"-o", "x.json", "-baseline", "y.json"})
+	if err != nil || c.out != "x.json" || c.baseline != "y.json" {
+		t.Errorf("parseFlags: %+v, %v", c, err)
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}

@@ -131,16 +131,25 @@ func BigdataNames() []string { return workload.BigdataNames() }
 // MixCount is the number of heterogeneous workloads.
 const MixCount = workload.MixCount
 
+// sharedImages is the process-wide device-image and probe cache behind the
+// package-level entry points: Run, RunWithSeries, RunCluster, and
+// RunTopology all fork copy-on-write snapshots from it, so repeated runs of
+// the same synthesized bundle — across systems, card counts, policies, and
+// topologies — skip the format/populate/offload lifecycle after the first.
+// Hand-assembled bundles (empty workload key) bypass it. Results are
+// byte-identical with or without the cache.
+var sharedImages = cluster.NewImageCache()
+
 // Run executes a workload bundle on the named system with the default
 // configuration and returns its measurements. Cancelling ctx abandons
 // the simulation and returns the context's error.
 func Run(ctx context.Context, sys System, b *Bundle) (*Result, error) {
-	return experiments.RunBundle(ctx, sys, b, false)
+	return experiments.RunBundleCached(ctx, sys, b, false, sharedImages)
 }
 
 // RunWithSeries additionally collects the Fig. 15 time series.
 func RunWithSeries(ctx context.Context, sys System, b *Bundle) (*Result, error) {
-	return experiments.RunBundle(ctx, sys, b, true)
+	return experiments.RunBundleCached(ctx, sys, b, true, sharedImages)
 }
 
 // Policy selects how RunCluster's host-level dispatcher shards a workload
@@ -205,7 +214,7 @@ func WithClusterWorkers(n int) ClusterOption {
 // Result.SwitchUtils). Cancelling ctx abandons every in-flight card
 // simulation and returns the context's error.
 func RunCluster(ctx context.Context, sys System, devices int, policy Policy, b *Bundle, opts ...ClusterOption) (*Result, error) {
-	o := cluster.Options{Policy: policy}
+	o := cluster.Options{Policy: policy, Images: sharedImages}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -220,5 +229,5 @@ func RunCluster(ctx context.Context, sys System, devices int, policy Policy, b *
 // RunTopology dispatches one workload bundle over an explicit cluster
 // topology: RunCluster with WithTopology, named for discoverability.
 func RunTopology(ctx context.Context, sys System, topo Topology, policy Policy, b *Bundle) (*Result, error) {
-	return experiments.RunTopology(ctx, sys, topo, policy, b)
+	return experiments.RunTopology(ctx, sys, topo, policy, b, sharedImages)
 }

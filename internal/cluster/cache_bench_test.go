@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// benchScale mirrors the repo-level figure benches (Table 2 inputs / 128).
+const benchScale = 128
+
+func benchBundle(b *testing.B) *workload.Bundle {
+	b.Helper()
+	o := workload.DefaultOptions()
+	o.Scale = benchScale
+	bundle, err := workload.Mix(1, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundle
+}
+
+// BenchmarkNodeStartupFresh measures the classic card-startup lifecycle a
+// cluster dispatch pays per card: device build (FTL format) plus input
+// population.
+func BenchmarkNodeStartupFresh(b *testing.B) {
+	bundle := benchBundle(b)
+	cfg := core.DefaultConfig(core.IntraO3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := NewNode(0, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Populate(bundle.Populate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNodeStartupFork measures the same startup through the image
+// cache: one capture, then a copy-on-write fork per card.
+func BenchmarkNodeStartupFork(b *testing.B) {
+	bundle := benchBundle(b)
+	cfg := core.DefaultConfig(core.IntraO3)
+	images := NewImageCache()
+	img, err := images.Populated(context.Background(), cfg, bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNodeFromImage(0, img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkStealDispatch measures a full work-steal cluster dispatch —
+// the probe-heaviest path: 24 standalone instance probes plus 8 cards per
+// iteration when cold, one memoized probe set shared by every iteration
+// when cached.
+func BenchmarkWorkStealDispatch(b *testing.B) {
+	bundle := benchBundle(b)
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 8
+	run := func(b *testing.B, images *ImageCache) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := Run(context.Background(), cfg, bundle, Options{Policy: WorkSteal, Workers: 1, Images: images})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.ThroughputMBps(), "MB/s")
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, NewImageCache()) })
+}

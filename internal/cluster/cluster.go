@@ -46,6 +46,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -126,20 +127,52 @@ type Options struct {
 	// cluster layer. When set, cfg.Devices is ignored: the topology owns
 	// the card count.
 	Topology Topology
+	// Images, when non-nil, shares formatted/populated device images and
+	// work-steal probe results across dispatches: every card and probe
+	// forks its class's image copy-on-write instead of rebuilding, and a
+	// probe run is simulated once per (card class, bundle, instance). The
+	// output is byte-identical either way — the cache only removes
+	// rebuild work, never changes simulated state.
+	Images *ImageCache
 }
 
 // RunSingle runs one bundle on one card: the node lifecycle experiments.
 // RunBundle delegates to, and the devices<=1 path of Run.
 func RunSingle(ctx context.Context, cfg core.Config, b *workload.Bundle) (*stats.Result, error) {
-	n, err := NewNode(0, cfg)
-	if err != nil {
-		return nil, err
+	return RunSingleCached(ctx, cfg, b, nil)
+}
+
+// RunSingleCached is RunSingle forking the cached device image for
+// (cfg, b) instead of rebuilding the format/populate/offload lifecycle.
+// A nil cache, an unkeyed (hand-assembled) bundle, or a bundle whose
+// populate proves unforkable runs the lifecycle from scratch; either way
+// the result is byte-identical.
+func RunSingleCached(ctx context.Context, cfg core.Config, b *workload.Bundle, images *ImageCache) (*stats.Result, error) {
+	var n *Node
+	if images != nil && bundleID(b) != "" {
+		img, err := images.Offloaded(ctx, cfg, b)
+		switch {
+		case err == nil:
+			if n, err = NewNodeFromImage(0, img, cfg); err != nil {
+				return nil, fmt.Errorf("%s/%s: fork: %w", b.Name, cfg.System, err)
+			}
+		case errors.Is(err, core.ErrUnforkable):
+			// fall through to the plain lifecycle below
+		default:
+			return nil, fmt.Errorf("%s/%s: image: %w", b.Name, cfg.System, err)
+		}
 	}
-	if err := n.Populate(b.Populate); err != nil {
-		return nil, fmt.Errorf("%s/%s: populate: %w", b.Name, cfg.System, err)
-	}
-	if err := n.Offload(b.Apps); err != nil {
-		return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, cfg.System, err)
+	if n == nil {
+		var err error
+		if n, err = NewNode(0, cfg); err != nil {
+			return nil, err
+		}
+		if err := n.Populate(b.Populate); err != nil {
+			return nil, fmt.Errorf("%s/%s: populate: %w", b.Name, cfg.System, err)
+		}
+		if err := n.Offload(b.Apps); err != nil {
+			return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, cfg.System, err)
+		}
 	}
 	res, err := n.Run(ctx)
 	if err != nil {
@@ -167,7 +200,7 @@ func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*
 			devices = 1
 		}
 		if devices == 1 {
-			return RunSingle(ctx, cfg, b)
+			return RunSingleCached(ctx, cfg, b, o.Images)
 		}
 		topo = Uniform(devices)
 	} else if err := topo.Validate(cfg); err != nil {
@@ -322,7 +355,7 @@ func runRoundRobin(ctx context.Context, b *workload.Bundle, cards []card, fab *f
 			if len(shards[c]) == 0 {
 				return nil, nil // more cards than applications: card stays idle
 			}
-			res, err := runShard(ctx, c, cards[c].cfg, b, shards[c])
+			res, err := runShard(ctx, c, cards[c].cfg, b, shards[c], o.Images)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cards[c].cfg.System, c, err)
 			}
@@ -386,7 +419,10 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 	probes, err := runner.Collect(ctx, runner.New(o.Workers), len(classCfgs)*n,
 		func(ctx context.Context, flat int) (*stats.Result, error) {
 			cls, i := flat/n, flat%n
-			res, err := runShard(ctx, i, classCfgs[cls], b, instances[i:i+1])
+			res, err := o.Images.Probe(ctx, classCfgs[cls], b, instances[i].Name,
+				func(ctx context.Context) (*stats.Result, error) {
+					return runShard(ctx, i, classCfgs[cls], b, instances[i:i+1], o.Images)
+				})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: probe %s (class %d): %w",
 					b.Name, classCfgs[cls].System, instances[i].Name, cls, err)
@@ -422,7 +458,7 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 			if len(claims[c]) == 0 {
 				return nil, nil // more cards than instances: card stays idle
 			}
-			res, err := runShard(ctx, c, cards[c].cfg, b, claims[c])
+			res, err := runShard(ctx, c, cards[c].cfg, b, claims[c], o.Images)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cards[c].cfg.System, c, err)
 			}
@@ -437,14 +473,32 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 }
 
 // runShard walks one card through the node lifecycle for a subset of the
-// bundle's applications. The full input set is replicated to each card.
-func runShard(ctx context.Context, id int, cfg core.Config, b *workload.Bundle, apps []workload.App) (*stats.Result, error) {
-	n, err := NewNode(id, cfg)
-	if err != nil {
-		return nil, err
+// bundle's applications. The full input set is replicated to each card —
+// with an image cache by forking the card class's populated image
+// copy-on-write, without one by populating from scratch.
+func runShard(ctx context.Context, id int, cfg core.Config, b *workload.Bundle, apps []workload.App, images *ImageCache) (*stats.Result, error) {
+	var n *Node
+	if images != nil && bundleID(b) != "" {
+		img, err := images.Populated(ctx, cfg, b)
+		switch {
+		case err == nil:
+			if n, err = NewNodeFromImage(id, img, cfg); err != nil {
+				return nil, fmt.Errorf("fork: %w", err)
+			}
+		case errors.Is(err, core.ErrUnforkable):
+			// fall through to the plain lifecycle below
+		default:
+			return nil, fmt.Errorf("image: %w", err)
+		}
 	}
-	if err := n.Populate(b.Populate); err != nil {
-		return nil, fmt.Errorf("populate: %w", err)
+	if n == nil {
+		var err error
+		if n, err = NewNode(id, cfg); err != nil {
+			return nil, err
+		}
+		if err := n.Populate(b.Populate); err != nil {
+			return nil, fmt.Errorf("populate: %w", err)
+		}
 	}
 	if err := n.Offload(apps); err != nil {
 		return nil, fmt.Errorf("offload: %w", err)

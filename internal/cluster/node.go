@@ -30,6 +30,19 @@ func NewNode(id int, cfg core.Config) (*Node, error) {
 	return &Node{ID: id, dev: d}, nil
 }
 
+// NewNodeFromImage builds card id by forking a captured device image under
+// cfg instead of walking the format/populate lifecycle: the card starts
+// with the image's mapping tables and payloads shared copy-on-write. The
+// caller offloads (if the image was captured pre-offload) and runs as
+// usual.
+func NewNodeFromImage(id int, img *core.Image, cfg core.Config) (*Node, error) {
+	d, err := img.Fork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{ID: id, dev: d}, nil
+}
+
 // Device exposes the underlying device for verification and tooling.
 func (n *Node) Device() *core.Device { return n.dev }
 

@@ -58,6 +58,11 @@ type Device struct {
 	offloadAt sim.Time // PCIe frontier for kernel downloads
 	pending   []*kernel.App
 	arrivals  []sim.Time
+	// offloaded records each offload's device-side decoded tables and wire
+	// sizes, so Snapshot can capture the offloaded kernel set and Fork can
+	// replay it without re-encoding, re-transferring-from, or re-parsing
+	// the host-side tables.
+	offloaded []offloadedApp
 	spans     []fuSpan
 	doneAt    sim.Time
 	ran       bool
@@ -103,6 +108,13 @@ func (d *Device) scheduleScreenDone(at sim.Time, s *kernel.Screen, w int) {
 // New builds a device. The flash backbone and host SSD both exist so the
 // same binary can run every system; only the selected datapath is timed.
 func New(cfg Config) (*Device, error) {
+	return build(cfg, nil)
+}
+
+// build assembles a device, either from scratch or forked from an image:
+// with a non-nil image the FTL forks the image's mapping state instead of
+// formatting, and the functional payload layers attach copy-on-write.
+func build(cfg Config, img *Image) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,7 +164,15 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.visor, err = flashvisor.New(cfg.Visor, ctrl, d.ddr, d.spad, d.net); err != nil {
+	if img != nil {
+		if img.flashBase != nil {
+			bb.AttachBase(img.flashBase)
+		}
+		d.visor, err = flashvisor.NewFromImage(cfg.Visor, ctrl, d.ddr, d.spad, d.net, img.ftl)
+	} else {
+		d.visor, err = flashvisor.New(cfg.Visor, ctrl, d.ddr, d.spad, d.net)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if d.storeng, err = storengine.New(cfg.Storengine, d.eng, d.visor); err != nil {
@@ -160,6 +180,9 @@ func New(cfg Config) (*Device, error) {
 	}
 	if d.hostm, err = host.New(cfg.Host, d.link); err != nil {
 		return nil, err
+	}
+	if img != nil && img.hostBase != nil {
+		d.hostm.AttachStore(img.hostBase)
 	}
 
 	if cfg.System.IsFlashAbacus() {
@@ -197,6 +220,7 @@ func (d *Device) OffloadApp(name string, tables []*kdt.Table) error {
 	}
 	appIdx := len(d.pending)
 	app := &kernel.App{Name: name, ID: appIdx}
+	rec := offloadedApp{name: name}
 	for ki, tab := range tables {
 		blob, err := tab.Encode()
 		if err != nil {
@@ -212,11 +236,50 @@ func (d *Device) OffloadApp(name string, tables []*kdt.Table) error {
 			return fmt.Errorf("core: device rejected %s kernel %d: %w", name, ki, err)
 		}
 		app.Kernels = append(app.Kernels, kernel.FromKDT(decoded, appIdx, ki))
+		rec.tables = append(rec.tables, decoded)
+		rec.wireLens = append(rec.wireLens, int64(len(blob)))
 	}
+	d.finishOffload(app, rec)
+	return nil
+}
+
+// offloadedApp is the replayable record of one OffloadApp call: the
+// device-side decoded tables (immutable once decoded — runtime kernels
+// alias but never mutate them) and each kernel blob's wire size, which is
+// all the PCIe BAR timing depends on.
+type offloadedApp struct {
+	name     string
+	tables   []*kdt.Table
+	wireLens []int64
+}
+
+// offloadDecoded replays a recorded offload on a forked device: identical
+// BAR transfers and doorbell, identical runtime kernels, no host-side
+// encode or device-side parse.
+func (d *Device) offloadDecoded(rec offloadedApp) error {
+	if d.ran {
+		return fmt.Errorf("core: offload after run")
+	}
+	appIdx := len(d.pending)
+	app := &kernel.App{Name: rec.name, ID: appIdx}
+	for ki, tab := range rec.tables {
+		landed, err := d.link.WriteBAR(d.offloadAt, rec.wireLens[ki])
+		if err != nil {
+			return err
+		}
+		d.offloadAt = landed
+		app.Kernels = append(app.Kernels, kernel.FromKDT(tab, appIdx, ki))
+	}
+	d.finishOffload(app, rec)
+	return nil
+}
+
+// finishOffload rings the doorbell and records the app's arrival.
+func (d *Device) finishOffload(app *kernel.App, rec offloadedApp) {
 	arrival := d.link.Doorbell(d.offloadAt)
 	d.pending = append(d.pending, app)
 	d.arrivals = append(d.arrivals, arrival)
-	return nil
+	d.offloaded = append(d.offloaded, rec)
 }
 
 // scheduler context implementation.

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/kdt"
+	"repro/internal/units"
+)
+
+// populatedFunctionalDevice builds a functional device with a recognizable
+// data pattern installed at address 0 and one offloaded app, ready to
+// snapshot.
+func populatedFunctionalDevice(t *testing.T, n int64) (*Device, []byte) {
+	t.Helper()
+	cfg := DefaultConfig(IntraO3)
+	cfg.Functional = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	if err := d.PopulateInput(0, n, data); err != nil {
+		t.Fatal(err)
+	}
+	tab := &kdt.Table{
+		Name:     "reader",
+		Sections: kdt.DefaultSections(128, n),
+		Microblocks: []kdt.Microblock{{Screens: []kdt.Screen{{Ops: []kdt.Op{
+			{Kind: kdt.OpRead, Section: 0, FlashAddr: 0, Bytes: n},
+			{Kind: kdt.OpCompute, Instr: 1000, LdStMilli: 400},
+			{Kind: kdt.OpWrite, Section: 0, FlashAddr: 13 * units.GB, Bytes: n},
+		}}}}},
+	}
+	if err := d.OffloadApp("app", []*kdt.Table{tab}); err != nil {
+		t.Fatal(err)
+	}
+	return d, data
+}
+
+// TestForkRunMatchesFreshRun is the core equivalence property: a forked
+// device's post-run Result is deep-equal to the Result of the device the
+// image was captured from, run the long way.
+func TestForkRunMatchesFreshRun(t *testing.T) {
+	const n = 256 * units.KB
+	d, _ := populatedFunctionalDevice(t, n)
+	img, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := img.Fork(d.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fork.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("forked run diverged from fresh run:\n fork: %v\nfresh: %v", got, want)
+	}
+}
+
+// TestForkMutationIsolation proves forks don't alias: writes through one
+// fork's Flashvisor — including overwrites that trigger mapping updates —
+// are invisible to a sibling fork, to the origin device, and to later
+// forks of the same image.
+func TestForkMutationIsolation(t *testing.T) {
+	const n = 256 * units.KB
+	origin, data := populatedFunctionalDevice(t, n)
+	img, err := origin.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkA, err := img.Fork(origin.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkB, err := img.Fork(origin.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write through fork A: overwrite the populated range with new bytes
+	// (remaps every group and stores new payloads) and write fresh groups.
+	dirty := make([]byte, n)
+	for i := range dirty {
+		dirty[i] = byte(255 - i%251)
+	}
+	if _, err := forkA.Visor().MapWrite(0, 1, 0, n, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := forkA.Visor().MapWrite(0, 1, 14*units.GB, n, dirty); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, dev *Device) {
+		t.Helper()
+		got, err := dev.Visor().ReadBytes(0, n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s observed fork A's writes", name)
+		}
+		if _, err := dev.Visor().ReadBytes(14*units.GB, n); err == nil {
+			t.Errorf("%s sees fork A's fresh mapping", name)
+		}
+	}
+	check("sibling fork", forkB)
+	check("origin device", origin)
+	forkC, err := img.Fork(origin.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("post-mutation fork", forkC)
+
+	// And fork A did observe its own writes.
+	got, err := forkA.Visor().ReadBytes(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dirty) {
+		t.Error("fork A lost its own writes")
+	}
+}
+
+// TestSnapshotAfterRunRejected pins the capture-point contract.
+func TestSnapshotAfterRunRejected(t *testing.T) {
+	d, _ := populatedFunctionalDevice(t, 64*units.KB)
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Snapshot(); err == nil {
+		t.Error("snapshot of a ran device succeeded")
+	}
+}
+
+// TestForkBuildKeyMismatchRejected pins the compatibility contract: a fork
+// config that would have populated different state is refused, while one
+// differing only in run-time knobs is accepted.
+func TestForkBuildKeyMismatchRejected(t *testing.T) {
+	d, _ := populatedFunctionalDevice(t, 64*units.KB)
+	img, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := d.Cfg
+	bad.Functional = false
+	if _, err := img.Fork(bad); err == nil {
+		t.Error("fork with mismatched build key succeeded")
+	}
+	simd := d.Cfg
+	simd.System = SIMD
+	if _, err := img.Fork(simd); err == nil {
+		t.Error("fork across storage classes succeeded")
+	}
+	ok := d.Cfg
+	ok.System = InterSt // same storage class, different governor
+	ok.Workers = 3
+	if _, err := img.Fork(ok); err != nil {
+		t.Errorf("fork with run-time-only config delta failed: %v", err)
+	}
+}

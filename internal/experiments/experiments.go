@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -117,61 +118,11 @@ func (j Job) bundle(o workload.Options) (*workload.Bundle, error) {
 	return nil, fmt.Errorf("experiments: unknown job kind %d", j.Kind)
 }
 
-// flight is one single-flight cache slot: the first requester computes,
-// everyone else waits on ready.
-type flight[T any] struct {
-	ready chan struct{}
-	val   T
-	err   error
-}
-
-// await implements the single-flight protocol shared by the cell cache and
-// the Fig. 3 sweep. get/set run under mu (set(nil) evicts); compute runs
-// outside the lock. A flight that failed only because its starter's
-// context was cancelled is evicted, and waiters with live contexts take
-// another lap and compute it themselves rather than inheriting a
-// cancellation they never asked for.
-func await[T any](ctx context.Context, mu *sync.Mutex,
-	get func() *flight[T], set func(*flight[T]),
-	compute func(context.Context) (T, error)) (T, error) {
-	for {
-		mu.Lock()
-		f := get()
-		if f == nil {
-			f = &flight[T]{ready: make(chan struct{})}
-			set(f)
-			mu.Unlock()
-			f.val, f.err = compute(ctx)
-			if f.err != nil && runner.IsCancellation(f.err) {
-				// Evict before close so retrying waiters find the slot empty.
-				mu.Lock()
-				set(nil)
-				mu.Unlock()
-			}
-			close(f.ready)
-			return f.val, f.err
-		}
-		mu.Unlock()
-		// Prefer a finished flight over noticing our own cancellation:
-		// when both channels are ready the cached result must win, or a
-		// cancelled parallel run would drop tables a sequential run had
-		// already printed.
-		select {
-		case <-f.ready:
-		default:
-			select {
-			case <-f.ready:
-			case <-ctx.Done():
-				var zero T
-				return zero, ctx.Err()
-			}
-		}
-		if f.err != nil && runner.IsCancellation(f.err) && ctx.Err() == nil {
-			continue // starter was cancelled, not us: recompute
-		}
-		return f.val, f.err
-	}
-}
+// The Suite's caches are single-flight slots driven by runner.Await — the
+// same protocol the cluster image/probe caches use: the first requester
+// computes, everyone else waits, and a flight that failed only because its
+// starter was cancelled is evicted for live-context waiters to retry.
+type flight[T any] = runner.Flight[T]
 
 // Suite runs and caches the evaluation's device runs at one scale. Scale
 // divides the Table 2 input sizes: 1 reproduces paper-scale data volumes,
@@ -192,6 +143,14 @@ type Suite struct {
 	cells map[Job]*flight[*stats.Result]
 	fig3  *flight[[]Fig3Point]
 	fig15 *flight[map[string]*stats.Result]
+
+	// images shares formatted/populated/offloaded device snapshots and
+	// work-steal probe runs across every cell of the suite: cells fork a
+	// copy-on-write image of their (configuration class, bundle) instead
+	// of rebuilding the device lifecycle, and cluster cells at different
+	// card counts and policies reuse one probe simulation per (card
+	// class, instance). Results are byte-identical to uncached runs.
+	images *cluster.ImageCache
 }
 
 // NewSuite returns an empty suite at the given scale.
@@ -199,7 +158,11 @@ func NewSuite(scale int64) *Suite {
 	if scale < 1 {
 		scale = 1
 	}
-	return &Suite{Scale: scale, cells: map[Job]*flight[*stats.Result]{}}
+	return &Suite{
+		Scale:  scale,
+		cells:  map[Job]*flight[*stats.Result]{},
+		images: cluster.NewImageCache(),
+	}
 }
 
 func (s *Suite) opts() workload.Options {
@@ -212,29 +175,38 @@ func (s *Suite) opts() workload.Options {
 // walking a single cluster node through its lifecycle (build, populate,
 // offload, run). Cancelling ctx abandons the simulation.
 func RunBundle(ctx context.Context, sys core.System, b *workload.Bundle, series bool) (*stats.Result, error) {
+	return RunBundleCached(ctx, sys, b, series, nil)
+}
+
+// RunBundleCached is RunBundle forking the cached device image for the
+// (system class, bundle) pair instead of rebuilding the lifecycle; a nil
+// cache rebuilds from scratch. Results are byte-identical either way.
+func RunBundleCached(ctx context.Context, sys core.System, b *workload.Bundle, series bool, images *cluster.ImageCache) (*stats.Result, error) {
 	cfg := core.DefaultConfig(sys)
 	cfg.CollectSeries = series
-	return cluster.RunSingle(ctx, cfg, b)
+	return cluster.RunSingleCached(ctx, cfg, b, images)
 }
 
 // RunCluster shards a workload bundle across devices simulated cards under
 // the given dispatch policy and returns the aggregated cluster result.
 // devices <= 1 is the single-device path, byte-identical to RunBundle.
-func RunCluster(ctx context.Context, sys core.System, devices int, policy cluster.Policy, b *workload.Bundle) (*stats.Result, error) {
+// A non-nil image cache lets every card fork its class image and memoizes
+// work-steal probes across dispatches.
+func RunCluster(ctx context.Context, sys core.System, devices int, policy cluster.Policy, b *workload.Bundle, images *cluster.ImageCache) (*stats.Result, error) {
 	if devices < 1 {
 		devices = 1 // the documented single-device path, not a config error
 	}
 	cfg := core.DefaultConfig(sys)
 	cfg.Devices = devices
-	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy})
+	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy, Images: images})
 }
 
 // RunTopology dispatches a workload bundle over an explicit cluster
 // topology — a tree of switches fanning out to possibly-skewed cards —
 // with the default configuration as the base card every skew derives from.
-func RunTopology(ctx context.Context, sys core.System, topo cluster.Topology, policy cluster.Policy, b *workload.Bundle) (*stats.Result, error) {
+func RunTopology(ctx context.Context, sys core.System, topo cluster.Topology, policy cluster.Policy, b *workload.Bundle, images *cluster.ImageCache) (*stats.Result, error) {
 	cfg := core.DefaultConfig(sys)
-	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy, Topology: topo})
+	return cluster.Run(ctx, cfg, b, cluster.Options{Policy: policy, Topology: topo, Images: images})
 }
 
 // Run returns job j's result, simulating it on first request. Concurrent
@@ -242,7 +214,7 @@ func RunTopology(ctx context.Context, sys core.System, topo cluster.Topology, po
 // because its context was cancelled is evicted, so a later call with a
 // live context retries instead of replaying the stale cancellation.
 func (s *Suite) Run(ctx context.Context, j Job) (*stats.Result, error) {
-	return await(ctx, &s.mu,
+	return runner.Await(ctx, &s.mu,
 		func() *flight[*stats.Result] { return s.cells[j] },
 		func(f *flight[*stats.Result]) {
 			if f == nil {
@@ -271,21 +243,36 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 	switch j.Kind {
 	case KindSensitivity:
 		// The sweep overrides the worker count; everything else matches
-		// the conventional baseline.
+		// the conventional baseline. Sensitivity bundles populate nothing,
+		// so the cell is a plain image fork + run (the image is shared by
+		// every core count of the same serial ratio — the worker count is
+		// a run-time knob outside the image's build key).
 		cfg := core.DefaultConfig(core.SIMD)
 		cfg.Workers = j.Cores
-		d, err := core.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, app := range b.Apps {
-			if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+		var d *core.Device
+		img, err := s.images.Offloaded(ctx, cfg, b)
+		switch {
+		case err == nil:
+			if d, err = img.Fork(cfg); err != nil {
 				return nil, err
 			}
+		case errors.Is(err, core.ErrUnforkable):
+			// Cannot happen for synthesized sensitivity bundles (they
+			// populate nothing), but mirror the cluster-layer fallback.
+			if d, err = core.New(cfg); err != nil {
+				return nil, err
+			}
+			for _, app := range b.Apps {
+				if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, err
 		}
 		return d.Run(ctx)
 	case KindSeries:
-		return RunBundle(ctx, j.Sys, b, true)
+		return RunBundleCached(ctx, j.Sys, b, true, s.images)
 	case KindCluster:
 		// simulate already runs inside a Prewarm worker slot, so the
 		// nested card/probe simulations stay sequential: total concurrent
@@ -293,7 +280,7 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 		// stays fully sequential through cluster cells).
 		cfg := core.DefaultConfig(j.Sys)
 		cfg.Devices = j.Devices
-		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1})
+		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Images: s.images})
 	case KindTopology:
 		topo, err := cluster.Preset(j.Topo, j.Devices)
 		if err != nil {
@@ -301,9 +288,9 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 		}
 		// Workers: 1 for the same reason as the KindCluster case above.
 		cfg := core.DefaultConfig(j.Sys)
-		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Topology: topo})
+		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Topology: topo, Images: s.images})
 	default:
-		return RunBundle(ctx, j.Sys, b, false)
+		return RunBundleCached(ctx, j.Sys, b, false, s.images)
 	}
 }
 
@@ -623,7 +610,7 @@ func Fig3Sensitivity(ctx context.Context, scale int64, workers int) ([]Fig3Point
 // sweep's device runs are ordinary cells — a Prewarm that included fig3b's
 // cells makes this pure assembly.
 func (s *Suite) Fig3Points(ctx context.Context) ([]Fig3Point, error) {
-	return await(ctx, &s.mu,
+	return runner.Await(ctx, &s.mu,
 		func() *flight[[]Fig3Point] { return s.fig3 },
 		func(f *flight[[]Fig3Point]) { s.fig3 = f },
 		func(ctx context.Context) ([]Fig3Point, error) {
@@ -915,7 +902,7 @@ func (s *Suite) Fig14b(ctx context.Context) (*report.Table, error) {
 // so racing callers share one computation and a prewarmed suite renders
 // this figure without simulating.
 func (s *Suite) Fig15(ctx context.Context) (map[string]*stats.Result, error) {
-	return await(ctx, &s.mu,
+	return runner.Await(ctx, &s.mu,
 		func() *flight[map[string]*stats.Result] { return s.fig15 },
 		func(f *flight[map[string]*stats.Result]) { s.fig15 = f },
 		func(ctx context.Context) (map[string]*stats.Result, error) {

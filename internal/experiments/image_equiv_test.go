@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// uncached computes a job exactly the way the pre-image suite did: full
+// format/populate/offload lifecycle per device, no image forks, no probe
+// memoization. It mirrors Suite.simulate with a nil cache.
+func uncached(t *testing.T, s *Suite, j Job) interface{} {
+	t.Helper()
+	ctx := context.Background()
+	b, err := j.bundle(s.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch j.Kind {
+	case KindSensitivity:
+		cfg := core.DefaultConfig(core.SIMD)
+		cfg.Workers = j.Cores
+		d, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range b.Apps {
+			if err := d.OffloadApp(app.Name, app.Tables); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := d.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	case KindSeries:
+		r, err := RunBundle(ctx, j.Sys, b, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	case KindCluster:
+		cfg := core.DefaultConfig(j.Sys)
+		cfg.Devices = j.Devices
+		r, err := cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	case KindTopology:
+		topo, err := cluster.Preset(j.Topo, j.Devices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(j.Sys)
+		r, err := cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	default:
+		r, err := RunBundle(ctx, j.Sys, b, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}
+
+// TestImageForkEquivalenceAcrossKinds is the acceptance property of the
+// snapshot subsystem: for every experiment kind, a suite cell computed
+// through image forks and memoized probes is deep-equal — every field of
+// stats.Result, down to latency vectors, energy entries, and visor
+// counters — to the same cell computed with the full per-device lifecycle.
+func TestImageForkEquivalenceAcrossKinds(t *testing.T) {
+	const scale = 1024 // tiny inputs: startup dominates, which is the path under test
+	jobs := []Job{
+		{Kind: KindHomogeneous, Name: "ATAX", Sys: core.IntraO3},
+		{Kind: KindHomogeneous, Name: "ATAX", Sys: core.SIMD},
+		{Kind: KindHeterogeneous, Mix: 1, Sys: core.InterDy},
+		{Kind: KindBigdata, Name: "bfs", Sys: core.InterSt},
+		{Kind: KindSensitivity, Cores: 4, Pct: 20, Sys: core.SIMD},
+		{Kind: KindSeries, Mix: 1, Sys: core.IntraO3},
+		{Kind: KindCluster, Name: "ATAX", Devices: 2, Policy: cluster.RoundRobin, Sys: core.IntraO3},
+		{Kind: KindCluster, Mix: 1, Devices: 2, Policy: cluster.WorkSteal, Sys: core.IntraO3},
+		{Kind: KindTopology, Mix: 1, Topo: "2sw-skew", Devices: 2, Policy: cluster.WorkSteal, Sys: core.IntraO3},
+	}
+	s := NewSuite(scale)
+	s.Workers = 1
+	for _, j := range jobs {
+		j := j
+		t.Run(j.String(), func(t *testing.T) {
+			got, err := s.Run(context.Background(), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uncached(t, s, j)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("image-forked result diverged from lifecycle result:\n fork: %+v\nfresh: %+v", got, want)
+			}
+		})
+	}
+	// The shared-image paths must also hold when cells share images: rerun
+	// a FlashAbacus sibling of an already-imaged cell and a second cluster
+	// policy whose probes were memoized by the first.
+	siblings := []Job{
+		{Kind: KindHomogeneous, Name: "ATAX", Sys: core.InterSt},
+		{Kind: KindCluster, Mix: 1, Devices: 4, Policy: cluster.WorkSteal, Sys: core.IntraO3},
+	}
+	for _, j := range siblings {
+		j := j
+		t.Run("shared/"+j.String(), func(t *testing.T) {
+			got, err := s.Run(context.Background(), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uncached(t, s, j)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shared-image result diverged from lifecycle result")
+			}
+		})
+	}
+}

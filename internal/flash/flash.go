@@ -195,6 +195,12 @@ type Backbone struct {
 	programs int64
 	reads    int64
 	store    map[PhysGroup][]byte
+	// base is the immutable payload layer of a forked backbone (nil when
+	// the backbone was built fresh). Reads fall through to it; writes and
+	// erases shadow it in store, where a nil entry is a tombstone — the
+	// group was erased or migrated away on this fork and the base payload
+	// must not show through. Base buffers are never mutated or recycled.
+	base map[PhysGroup][]byte
 	// bufPool recycles full-group payload buffers freed by erases so
 	// functional runs do not reallocate 64 KB per program in steady state.
 	bufPool [][]byte
@@ -306,8 +312,15 @@ func (b *Backbone) EraseSuper(at sim.Time, sb SuperBlock) sim.Time {
 		pg, step := b.Geo.GroupSpan(sb)
 		for p := 0; p < b.Geo.PagesPerBlock; p++ {
 			if buf, ok := b.store[pg]; ok {
+				if buf != nil {
+					b.bufPool = append(b.bufPool, buf)
+				}
 				delete(b.store, pg)
-				b.bufPool = append(b.bufPool, buf)
+			}
+			if b.base != nil {
+				if _, ok := b.base[pg]; ok {
+					b.store[pg] = nil // tombstone: hide the base payload
+				}
 			}
 			pg += PhysGroup(step)
 		}
@@ -325,7 +338,7 @@ func (b *Backbone) Store(pg PhysGroup, data []byte) {
 	if int64(len(data)) > b.Geo.GroupSize() {
 		panic(fmt.Sprintf("flash: payload %d exceeds group size %d", len(data), b.Geo.GroupSize()))
 	}
-	if old, ok := b.store[pg]; ok {
+	if old, ok := b.store[pg]; ok && old != nil {
 		b.bufPool = append(b.bufPool, old)
 	}
 	cp := b.getBuf(len(data))
@@ -349,18 +362,78 @@ func (b *Backbone) getBuf(n int) []byte {
 }
 
 // Load returns the functional payload for a page group, or nil if none (or
-// if the backbone is timing-only).
-func (b *Backbone) Load(pg PhysGroup) []byte { return b.store[pg] }
+// if the backbone is timing-only). A forked backbone reads through to its
+// shared base layer unless this fork has overwritten or erased the group.
+func (b *Backbone) Load(pg PhysGroup) []byte {
+	if buf, ok := b.store[pg]; ok {
+		return buf // includes nil tombstones on forks
+	}
+	if b.base != nil {
+		return b.base[pg]
+	}
+	return nil
+}
 
 // Move copies the functional payload from src to dst (used by GC migration).
+// On a forked backbone a payload still living in the shared base layer is
+// copied into fork-private storage first, so sibling forks and the image
+// never observe the migration.
 func (b *Backbone) Move(src, dst PhysGroup) {
 	if !b.Functional {
 		return
 	}
 	if d, ok := b.store[src]; ok {
+		if d == nil {
+			return // tombstone: nothing to move
+		}
 		b.store[dst] = d
-		delete(b.store, src)
+		if b.base != nil {
+			b.store[src] = nil
+		} else {
+			delete(b.store, src)
+		}
+		return
 	}
+	if b.base != nil {
+		if d, ok := b.base[src]; ok {
+			cp := b.getBuf(len(d))
+			copy(cp, d)
+			b.store[dst] = cp
+			b.store[src] = nil
+		}
+	}
+}
+
+// SnapshotStore freezes the current functional payloads into an immutable
+// base layer shared between the returned map and this backbone: the live
+// backbone keeps working copy-on-write over it, exactly like a fork. It
+// returns nil when no payloads exist (timing-only runs), so images of
+// timing-only devices carry no store at all.
+func (b *Backbone) SnapshotStore() map[PhysGroup][]byte {
+	if len(b.store) == 0 && b.base == nil {
+		return nil
+	}
+	flat := make(map[PhysGroup][]byte, len(b.base)+len(b.store))
+	for pg, buf := range b.base {
+		flat[pg] = buf
+	}
+	for pg, buf := range b.store {
+		if buf == nil {
+			delete(flat, pg)
+		} else {
+			flat[pg] = buf
+		}
+	}
+	b.base = flat
+	b.store = make(map[PhysGroup][]byte)
+	return flat
+}
+
+// AttachBase installs an immutable payload layer captured by SnapshotStore
+// on a freshly built backbone (the fork path). The map and its buffers must
+// never be mutated by the caller.
+func (b *Backbone) AttachBase(base map[PhysGroup][]byte) {
+	b.base = base
 }
 
 // EraseCount returns the erase count of a super block.

@@ -1,0 +1,134 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+)
+
+// cowBackbone returns a functional backbone with payloads stored at the
+// given groups, plus the value each group holds.
+func cowBackbone(t *testing.T, groups ...PhysGroup) (*Backbone, map[PhysGroup][]byte) {
+	t.Helper()
+	bb, err := NewBackbone(DefaultGeometry(), DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb.Functional = true
+	want := map[PhysGroup][]byte{}
+	for i, pg := range groups {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 64)
+		bb.Store(pg, data)
+		want[pg] = data
+	}
+	return bb, want
+}
+
+func TestStoreCowOverwriteShadowsBase(t *testing.T) {
+	bb, want := cowBackbone(t, 10, 11)
+	base := bb.SnapshotStore()
+
+	// The live backbone keeps reading the frozen payloads...
+	for pg, w := range want {
+		if got := bb.Load(pg); !bytes.Equal(got, w) {
+			t.Fatalf("group %d after snapshot: got %v", pg, got[:4])
+		}
+	}
+	// ...and overwriting shadows the base without touching it.
+	bb.Store(10, []byte{9, 9, 9})
+	if got := bb.Load(10); !bytes.Equal(got, []byte{9, 9, 9}) {
+		t.Errorf("overwrite not visible on the writer: %v", got)
+	}
+	if got := base[10]; !bytes.Equal(got, want[10]) {
+		t.Errorf("overwrite leaked into the frozen base: %v", got[:4])
+	}
+
+	// A fork over the same base sees only the frozen state.
+	fork, err := NewBackbone(DefaultGeometry(), DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork.Functional = true
+	fork.AttachBase(base)
+	if got := fork.Load(10); !bytes.Equal(got, want[10]) {
+		t.Errorf("fork sees writer's overwrite: %v", got)
+	}
+}
+
+func TestStoreCowEraseWritesTombstones(t *testing.T) {
+	bb, want := cowBackbone(t)
+	// Place payloads inside one super block so an erase covers them.
+	sb := SuperBlock(3)
+	pg, step := bb.Geo.GroupSpan(sb)
+	a, b := pg, pg+PhysGroup(step)
+	bb.Store(a, []byte{1, 1})
+	bb.Store(b, []byte{2, 2})
+	want[a], want[b] = []byte{1, 1}, []byte{2, 2}
+	base := bb.SnapshotStore()
+
+	bb.EraseSuper(0, sb)
+	if got := bb.Load(a); got != nil {
+		t.Errorf("erased group %d still loads %v through the base", a, got)
+	}
+	if got := base[a]; !bytes.Equal(got, want[a]) {
+		t.Errorf("erase mutated the frozen base at %d", a)
+	}
+	// Re-storing after the erase works and stays private.
+	bb.Store(b, []byte{7})
+	if got := base[b]; !bytes.Equal(got, want[b]) {
+		t.Errorf("post-erase store mutated the frozen base at %d", b)
+	}
+}
+
+func TestStoreCowMoveCopiesBasePayload(t *testing.T) {
+	bb, want := cowBackbone(t, 20)
+	base := bb.SnapshotStore()
+
+	bb.Move(20, 500) // GC migration of a frozen payload
+	if got := bb.Load(500); !bytes.Equal(got, want[20]) {
+		t.Fatalf("migrated payload wrong: %v", got)
+	}
+	if got := bb.Load(20); got != nil {
+		t.Errorf("source still mapped after move: %v", got)
+	}
+	if got := base[20]; !bytes.Equal(got, want[20]) {
+		t.Errorf("move mutated the frozen base")
+	}
+	// Mutating the migrated copy (via overwrite) must not reach the base:
+	// the move copied the payload instead of aliasing it.
+	bb.Store(500, []byte{42})
+	if got := base[20]; !bytes.Equal(got, want[20]) {
+		t.Errorf("migrated payload aliased the frozen base")
+	}
+}
+
+func TestSnapshotStoreTimingOnlyIsNil(t *testing.T) {
+	bb, err := NewBackbone(DefaultGeometry(), DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := bb.SnapshotStore(); m != nil {
+		t.Errorf("timing-only snapshot returned %d payloads", len(m))
+	}
+}
+
+func TestSnapshotStoreFlattensForkState(t *testing.T) {
+	bb, want := cowBackbone(t, 30, 31)
+	base := bb.SnapshotStore()
+	_ = base
+	bb.Store(31, []byte{5}) // shadow one frozen payload
+	bb.Store(32, []byte{6}) // add one private payload
+	sb := bb.Geo.SuperBlockOf(30)
+	bb.EraseSuper(0, sb) // tombstone every group of 30's super block
+
+	flat := bb.SnapshotStore()
+	if _, ok := flat[30]; ok {
+		t.Errorf("flattened snapshot resurrects erased group 30")
+	}
+	if got := flat[31]; !bytes.Equal(got, []byte{5}) {
+		t.Errorf("flattened snapshot misses shadowed payload: %v", got)
+	}
+	if got := flat[32]; !bytes.Equal(got, []byte{6}) {
+		t.Errorf("flattened snapshot misses private payload: %v", got)
+	}
+	_ = want
+}

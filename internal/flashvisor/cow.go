@@ -1,0 +1,80 @@
+package flashvisor
+
+// cow32 is a sparse, copy-on-write int32 array: the FTL's forward and
+// reverse mapping tables. Storage is segmented; a nil segment reads as
+// zeros, which matches the mapping tables' +1-biased encoding where zero
+// means "unmapped" — a freshly formatted table allocates no segments at
+// all, so device format is O(segments) pointers instead of O(capacity)
+// memory.
+//
+// Snapshot freezes the current segments into an immutable view that a
+// forked table shares: both sides drop ownership, and the first write to a
+// shared segment copies just that segment (16 KB) into private storage.
+// Forks of forks flatten naturally — a snapshot is always a flat segment
+// list, never a chain.
+type cow32 struct {
+	n     int64     // logical length
+	segs  [][]int32 // nil segment == all zero
+	owned []bool    // owned[i]: segs[i] is private and writable
+}
+
+// cowSegBits sizes segments at 4096 entries (16 KB): small enough that a
+// fork touching a handful of groups copies kilobytes, large enough that the
+// segment directory for the 2 MB full-geometry table is 128 pointers.
+const (
+	cowSegBits = 12
+	cowSegSize = 1 << cowSegBits
+	cowSegMask = cowSegSize - 1
+)
+
+// newCow32 returns an all-zero array of length n.
+func newCow32(n int64) cow32 {
+	nsegs := (n + cowSegSize - 1) >> cowSegBits
+	return cow32{n: n, segs: make([][]int32, nsegs), owned: make([]bool, nsegs)}
+}
+
+// at reads index i.
+func (c *cow32) at(i int64) int32 {
+	seg := c.segs[i>>cowSegBits]
+	if seg == nil {
+		return 0
+	}
+	return seg[i&cowSegMask]
+}
+
+// set writes index i, materializing or privatizing its segment first.
+func (c *cow32) set(i int64, v int32) {
+	si := i >> cowSegBits
+	if !c.owned[si] {
+		seg := make([]int32, cowSegSize)
+		copy(seg, c.segs[si])
+		c.segs[si] = seg
+		c.owned[si] = true
+	}
+	c.segs[si][i&cowSegMask] = v
+}
+
+// snapshot freezes the array: every segment becomes shared (future writes
+// on this side copy first) and the returned view aliases the same frozen
+// segments.
+func (c *cow32) snapshot() cowView {
+	for i := range c.owned {
+		c.owned[i] = false
+	}
+	segs := make([][]int32, len(c.segs))
+	copy(segs, c.segs)
+	return cowView{n: c.n, segs: segs}
+}
+
+// cowView is an immutable snapshot of a cow32.
+type cowView struct {
+	n    int64
+	segs [][]int32
+}
+
+// fork builds a writable copy-on-write array over the frozen view.
+func (v cowView) fork() cow32 {
+	segs := make([][]int32, len(v.segs))
+	copy(segs, v.segs)
+	return cow32{n: v.n, segs: segs, owned: make([]bool, len(v.segs))}
+}

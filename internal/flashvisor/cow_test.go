@@ -1,0 +1,216 @@
+package flashvisor
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+)
+
+func TestCow32ZeroDefaultAndRoundTrip(t *testing.T) {
+	const n = 3*cowSegSize + 17 // deliberately not segment-aligned
+	c := newCow32(n)
+	for _, i := range []int64{0, 1, cowSegSize - 1, cowSegSize, n - 1} {
+		if got := c.at(i); got != 0 {
+			t.Fatalf("fresh array at(%d) = %d, want 0", i, got)
+		}
+	}
+	c.set(0, 5)
+	c.set(cowSegSize, 7)
+	c.set(n-1, 9)
+	for i, want := range map[int64]int32{0: 5, cowSegSize: 7, n - 1: 9, 1: 0, cowSegSize - 1: 0} {
+		if got := c.at(i); got != want {
+			t.Errorf("at(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCow32SnapshotForkIsolation(t *testing.T) {
+	const n = 2 * cowSegSize
+	parent := newCow32(n)
+	parent.set(3, 30)
+	parent.set(cowSegSize+1, 40)
+
+	view := parent.snapshot()
+	forkA := view.fork()
+	forkB := view.fork()
+
+	// Writes on either side of the snapshot stay private.
+	parent.set(3, 31)
+	forkA.set(3, 32)
+	forkA.set(7, 70)
+	forkB.set(cowSegSize+1, 41)
+
+	cases := []struct {
+		name string
+		c    *cow32
+		want map[int64]int32
+	}{
+		{"parent", &parent, map[int64]int32{3: 31, 7: 0, cowSegSize + 1: 40}},
+		{"forkA", &forkA, map[int64]int32{3: 32, 7: 70, cowSegSize + 1: 40}},
+		{"forkB", &forkB, map[int64]int32{3: 30, 7: 0, cowSegSize + 1: 41}},
+	}
+	for _, tc := range cases {
+		for i, want := range tc.want {
+			if got := tc.c.at(i); got != want {
+				t.Errorf("%s.at(%d) = %d, want %d", tc.name, i, got, want)
+			}
+		}
+	}
+	// A fresh fork of the original view still reads the frozen state.
+	late := view.fork()
+	if got := late.at(3); got != 30 {
+		t.Errorf("late fork at(3) = %d, want frozen 30", got)
+	}
+}
+
+// TestFTLForkIndependentAllocation forks a populated FTL twice and drives
+// both forks (and the parent) through allocation/commit/reclaim storms:
+// every replica must stay self-consistent, and the parent's mappings must
+// be unaffected by fork activity.
+func TestFTLForkIndependentAllocation(t *testing.T) {
+	geo := smallGeo()
+	f, err := NewFTL(geo, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := f.LogicalGroups() / 4
+	for lg := int64(0); lg < seed; lg++ {
+		pg, _, err := f.Alloc(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Commit(lg, pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := f.Snapshot()
+
+	baseline := make([]flash.PhysGroup, seed)
+	for lg := int64(0); lg < seed; lg++ {
+		pg, ok := f.Lookup(lg)
+		if !ok {
+			t.Fatalf("seeded group %d unmapped", lg)
+		}
+		baseline[lg] = pg
+	}
+
+	churn := func(t *testing.T, r *FTL, salt int64) {
+		t.Helper()
+		// Overwrite a window (invalidates + remaps) and extend the log.
+		for lg := salt; lg < salt+seed/2; lg++ {
+			pg, _, err := r.Alloc(false)
+			if err == ErrNoSpace {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Commit(lg%r.LogicalGroups(), pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forkA := NewFTLFromImage(img)
+	forkB := NewFTLFromImage(img)
+	churn(t, forkA, 0)
+	churn(t, forkB, 7)
+	churn(t, f, 3)
+
+	// A fresh fork still sees exactly the snapshotted mappings.
+	late := NewFTLFromImage(img)
+	if err := late.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for lg := int64(0); lg < seed; lg++ {
+		pg, ok := late.Lookup(lg)
+		if !ok || pg != baseline[lg] {
+			t.Fatalf("image mapping for group %d changed: got (%d,%v), want %d", lg, pg, ok, baseline[lg])
+		}
+	}
+	if n := late.FreeSuperBlocks(); n != img.freeSBsTotal() {
+		t.Errorf("image free pool drifted: %d", n)
+	}
+}
+
+// freeSBsTotal counts the image's free pool for drift checks.
+func (img *FTLImage) freeSBsTotal() int {
+	n := 0
+	for _, p := range img.freeSBs {
+		n += len(p)
+	}
+	return n
+}
+
+// TestFTLForkMatchesFreshReplay pins fork fidelity the strong way: an FTL
+// forked from a fresh format behaves operation-for-operation identically
+// to a second fresh format driven through the same sequence.
+func TestFTLForkMatchesFreshReplay(t *testing.T) {
+	geo := smallGeo()
+	fresh, err := NewFTL(geo, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewFTL(geo, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := NewFTLFromImage(base.Snapshot())
+
+	for step := 0; step < 3*int(fresh.LogicalGroups()); step++ {
+		lg := int64(step*13) % fresh.LogicalGroups()
+		pgF, rolledF, errF := fresh.Alloc(false)
+		pgK, rolledK, errK := fork.Alloc(false)
+		if (errF == nil) != (errK == nil) || rolledF != rolledK || (errF == nil && pgF != pgK) {
+			t.Fatalf("step %d diverged: fresh (%d,%v,%v) fork (%d,%v,%v)", step, pgF, rolledF, errF, pgK, rolledK, errK)
+		}
+		if errF == ErrNoSpace {
+			vF, okF := fresh.VictimRoundRobin()
+			vK, okK := fork.VictimRoundRobin()
+			if vF != vK || okF != okK {
+				t.Fatalf("step %d victim diverged", step)
+			}
+			if okF {
+				reclaim(t, fresh, vF)
+				reclaim(t, fork, vK)
+			}
+			continue
+		}
+		if err := fresh.Commit(lg, pgF); err != nil {
+			t.Fatal(err)
+		}
+		if err := fork.Commit(lg, pgK); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fresh.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for lg := int64(0); lg < fresh.LogicalGroups(); lg++ {
+		pf, okf := fresh.Lookup(lg)
+		pk, okk := fork.Lookup(lg)
+		if pf != pk || okf != okk {
+			t.Fatalf("final mapping of group %d diverged: fresh (%d,%v) fork (%d,%v)", lg, pf, okf, pk, okk)
+		}
+	}
+}
+
+// reclaim migrates a victim's valid groups and releases it — the FTL side
+// of Visor.Reclaim without the timing model.
+func reclaim(t *testing.T, f *FTL, sb flash.SuperBlock) {
+	t.Helper()
+	for _, pair := range f.ValidGroups(sb) {
+		dst, _, err := f.Alloc(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Retarget(pair.Logical, dst)
+		_ = pair.Phys
+	}
+	f.Release(sb)
+}

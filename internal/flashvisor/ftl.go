@@ -26,11 +26,13 @@ type FTL struct {
 	// table maps logical group -> physical group + 1 (0 when unmapped); it
 	// is the structure that occupies 2 MB of scratchpad at full geometry.
 	// The +1 bias makes the zero value "unmapped", so a freshly formatted
-	// table is just zeroed memory — no O(capacity) initialization pass.
-	table []int32
+	// table is sparse all-zero segments — no O(capacity) memory until
+	// groups actually map. Both tables are copy-on-write so a formatted,
+	// populated device forks in O(small-state) instead of O(capacity).
+	table cow32
 	// rev maps physical group -> logical group + 1 (0 when free/invalid),
 	// which GC migration needs to retarget mappings.
-	rev []int32
+	rev cow32
 
 	freeSBs [][]flash.SuperBlock // per die row: erased, ready
 	// usedSBs is a head-indexed queue (filled, in round-robin reclaim
@@ -88,28 +90,35 @@ func NewFTL(geo flash.Geometry, op float64) (*FTL, error) {
 	}
 	f := &FTL{
 		geo:           geo,
-		table:         make([]int32, logical),
-		rev:           make([]int32, geo.TotalGroups()),
+		table:         newCow32(logical),
+		rev:           newCow32(geo.TotalGroups()),
 		validPerSB:    make([]int32, geo.SuperBlocks()),
 		logicalGroups: logical,
 		freeSBs:       make([][]flash.SuperBlock, rows),
 		active:        make([]flash.SuperBlock, rows),
 		hasActive:     make([]bool, rows),
 		cursor:        make([]int, rows),
-		rows:          int64(rows),
-		pagesPB:       int64(geo.PagesPerBlock),
 	}
+	f.initGeoCache()
+	for sb := 0; sb < geo.SuperBlocks(); sb++ {
+		row := sb / geo.BlocksPerDie
+		f.freeSBs[row] = append(f.freeSBs[row], flash.SuperBlock(sb))
+	}
+	return f, nil
+}
+
+// initGeoCache derives the cached per-group arithmetic terms from the
+// geometry (shift/mask forms when the row and page counts are powers of
+// two, the default).
+func (f *FTL) initGeoCache() {
+	f.rows = int64(f.geo.DieRows())
+	f.pagesPB = int64(f.geo.PagesPerBlock)
 	if f.rows&(f.rows-1) == 0 && f.pagesPB&(f.pagesPB-1) == 0 {
 		f.pow2 = true
 		f.rowShift = uint(bits.TrailingZeros64(uint64(f.rows)))
 		f.rowMask = f.rows - 1
 		f.pageShift = uint(bits.TrailingZeros64(uint64(f.pagesPB)))
 	}
-	for sb := 0; sb < geo.SuperBlocks(); sb++ {
-		row := sb / geo.BlocksPerDie
-		f.freeSBs[row] = append(f.freeSBs[row], flash.SuperBlock(sb))
-	}
-	return f, nil
 }
 
 // sbOf is Geometry.SuperBlockOf without the page decomposition, using
@@ -145,7 +154,7 @@ func (f *FTL) Lookup(lg int64) (flash.PhysGroup, bool) {
 	if lg < 0 || lg >= f.logicalGroups {
 		return 0, false
 	}
-	pg := f.table[lg]
+	pg := f.table.at(lg)
 	if pg == 0 {
 		return 0, false
 	}
@@ -260,20 +269,20 @@ func (f *FTL) Commit(lg int64, pg flash.PhysGroup) error {
 	if lg < 0 || lg >= f.logicalGroups {
 		return fmt.Errorf("flashvisor: logical group %d outside space of %d", lg, f.logicalGroups)
 	}
-	if old := f.table[lg]; old != 0 {
+	if old := f.table.at(lg); old != 0 {
 		f.invalidate(flash.PhysGroup(old - 1))
 	}
-	f.table[lg] = int32(pg) + 1
-	f.rev[pg] = int32(lg) + 1
+	f.table.set(lg, int32(pg)+1)
+	f.rev.set(int64(pg), int32(lg)+1)
 	f.validPerSB[f.sbOf(pg)]++
 	return nil
 }
 
 func (f *FTL) invalidate(pg flash.PhysGroup) {
-	if f.rev[pg] == 0 {
+	if f.rev.at(int64(pg)) == 0 {
 		return
 	}
-	f.rev[pg] = 0
+	f.rev.set(int64(pg), 0)
 	f.validPerSB[f.sbOf(pg)]--
 }
 
@@ -324,7 +333,7 @@ func (f *FTL) ValidGroups(sb flash.SuperBlock) []MigratePair {
 func (f *FTL) AppendValidGroups(dst []MigratePair, sb flash.SuperBlock) []MigratePair {
 	pg, step := f.geo.GroupSpan(sb)
 	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		if lg := f.rev[pg]; lg != 0 {
+		if lg := f.rev.at(int64(pg)); lg != 0 {
 			dst = append(dst, MigratePair{Phys: pg, Logical: int64(lg - 1)})
 		}
 		pg += flash.PhysGroup(step)
@@ -341,12 +350,12 @@ type MigratePair struct {
 // Retarget points a logical group at its migrated location without
 // counting it as a fresh host write.
 func (f *FTL) Retarget(lg int64, dst flash.PhysGroup) {
-	old := f.table[lg]
+	old := f.table.at(lg)
 	if old != 0 {
 		f.invalidate(flash.PhysGroup(old - 1))
 	}
-	f.table[lg] = int32(dst) + 1
-	f.rev[dst] = int32(lg) + 1
+	f.table.set(lg, int32(dst)+1)
+	f.rev.set(int64(dst), int32(lg)+1)
 	f.validPerSB[f.sbOf(dst)]++
 }
 
@@ -376,24 +385,26 @@ func (f *FTL) CanAllocHost() bool {
 
 // MappingBytes returns the scratchpad footprint of the mapping table: four
 // bytes per logical group (paper §4.3: 2 MB covers 32 GB).
-func (f *FTL) MappingBytes() int64 { return int64(len(f.table)) * 4 }
+func (f *FTL) MappingBytes() int64 { return f.table.n * 4 }
 
 // CheckConsistency verifies forward/reverse mapping agreement and per-super-
 // block valid counts; tests call it after GC storms.
 func (f *FTL) CheckConsistency() error {
 	counts := make([]int32, f.geo.SuperBlocks())
-	for lg, pg := range f.table {
+	for lg := int64(0); lg < f.table.n; lg++ {
+		pg := f.table.at(lg)
 		if pg == 0 {
 			continue
 		}
-		if f.rev[pg-1] != int32(lg)+1 {
-			return fmt.Errorf("flashvisor: table[%d]=%d but rev[%d]=%d", lg, pg-1, pg-1, f.rev[pg-1]-1)
+		if f.rev.at(int64(pg-1)) != int32(lg)+1 {
+			return fmt.Errorf("flashvisor: table[%d]=%d but rev[%d]=%d", lg, pg-1, pg-1, f.rev.at(int64(pg-1))-1)
 		}
 		counts[f.sbOf(flash.PhysGroup(pg-1))]++
 	}
-	for pg, lg := range f.rev {
-		if lg != 0 && f.table[lg-1] != int32(pg)+1 {
-			return fmt.Errorf("flashvisor: rev[%d]=%d but table[%d]=%d", pg, lg-1, lg-1, f.table[lg-1]-1)
+	for pg := int64(0); pg < f.rev.n; pg++ {
+		lg := f.rev.at(pg)
+		if lg != 0 && f.table.at(int64(lg-1)) != int32(pg)+1 {
+			return fmt.Errorf("flashvisor: rev[%d]=%d but table[%d]=%d", pg, lg-1, lg-1, f.table.at(int64(lg-1))-1)
 		}
 	}
 	for sb := range counts {

@@ -1,0 +1,75 @@
+package flashvisor
+
+import "repro/internal/flash"
+
+// FTLImage is an immutable snapshot of an FTL: the mapping tables frozen as
+// shared copy-on-write segments plus a private copy of the (small) log-head
+// and pool state. Snapshot is cheap — O(segment directory + super blocks),
+// never O(capacity) — so a formatted, populated device can be captured once
+// and forked for every cell, cluster card, and work-steal probe that would
+// otherwise rebuild it.
+type FTLImage struct {
+	geo           flash.Geometry
+	table         cowView
+	rev           cowView
+	validPerSB    []int32
+	freeSBs       [][]flash.SuperBlock
+	usedSBs       []flash.SuperBlock
+	active        []flash.SuperBlock
+	hasActive     []bool
+	cursor        []int
+	allocRow      int
+	logicalGroups int64
+}
+
+// Snapshot freezes the FTL's current state into an immutable image. The
+// live FTL stays fully usable: its mapping-table segments become shared, so
+// its next write to any segment copies that segment first. Snapshotting a
+// forked FTL works the same way — views are always flat, never chained.
+func (f *FTL) Snapshot() *FTLImage {
+	img := &FTLImage{
+		geo:           f.geo,
+		table:         f.table.snapshot(),
+		rev:           f.rev.snapshot(),
+		validPerSB:    append([]int32(nil), f.validPerSB...),
+		freeSBs:       make([][]flash.SuperBlock, len(f.freeSBs)),
+		usedSBs:       append([]flash.SuperBlock(nil), f.usedSBs[f.usedHead:]...),
+		active:        append([]flash.SuperBlock(nil), f.active...),
+		hasActive:     append([]bool(nil), f.hasActive...),
+		cursor:        append([]int(nil), f.cursor...),
+		allocRow:      f.allocRow,
+		logicalGroups: f.logicalGroups,
+	}
+	for r := range f.freeSBs {
+		img.freeSBs[r] = append([]flash.SuperBlock(nil), f.freeSBs[r]...)
+	}
+	return img
+}
+
+// Geometry returns the geometry the image was formatted with.
+func (img *FTLImage) Geometry() flash.Geometry { return img.geo }
+
+// NewFTLFromImage forks a writable FTL from an image. The mapping tables
+// are shared copy-on-write with the image (and with every sibling fork);
+// the log-head and pool state is copied. The result is indistinguishable
+// from the FTL the image was snapshotted from.
+func NewFTLFromImage(img *FTLImage) *FTL {
+	f := &FTL{
+		geo:           img.geo,
+		table:         img.table.fork(),
+		rev:           img.rev.fork(),
+		validPerSB:    append([]int32(nil), img.validPerSB...),
+		logicalGroups: img.logicalGroups,
+		freeSBs:       make([][]flash.SuperBlock, len(img.freeSBs)),
+		usedSBs:       append([]flash.SuperBlock(nil), img.usedSBs...),
+		active:        append([]flash.SuperBlock(nil), img.active...),
+		hasActive:     append([]bool(nil), img.hasActive...),
+		cursor:        append([]int(nil), img.cursor...),
+		allocRow:      img.allocRow,
+	}
+	for r := range img.freeSBs {
+		f.freeSBs[r] = append([]flash.SuperBlock(nil), img.freeSBs[r]...)
+	}
+	f.initGeoCache()
+	return f
+}

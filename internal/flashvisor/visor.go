@@ -80,6 +80,20 @@ func New(cfg Config, ctrl *flashctrl.Complex, ddr, spad *mem.Memory, net *noc.Ne
 	if err != nil {
 		return nil, err
 	}
+	return wireVisor(cfg, ctrl, ddr, spad, net, ftl)
+}
+
+// NewFromImage wires a Visor whose FTL forks a snapshotted image instead of
+// formatting from scratch — the device-fork path. The image must have been
+// captured at the same geometry the controller complex runs.
+func NewFromImage(cfg Config, ctrl *flashctrl.Complex, ddr, spad *mem.Memory, net *noc.Network, img *FTLImage) (*Visor, error) {
+	if img.Geometry() != ctrl.BB.Geo {
+		return nil, fmt.Errorf("flashvisor: image geometry %+v does not match backbone %+v", img.Geometry(), ctrl.BB.Geo)
+	}
+	return wireVisor(cfg, ctrl, ddr, spad, net, NewFTLFromImage(img))
+}
+
+func wireVisor(cfg Config, ctrl *flashctrl.Complex, ddr, spad *mem.Memory, net *noc.Network, ftl *FTL) (*Visor, error) {
 	if cfg.PerGroupCost <= 0 {
 		return nil, fmt.Errorf("flashvisor: non-positive per-group cost")
 	}

@@ -188,6 +188,30 @@ func (h *Host) load(addr, bytes int64) []byte {
 	return out
 }
 
+// SnapshotStore returns the installed functional payloads as an immutable
+// layer for a device image, or nil when none were installed. Entries are
+// shallow-shared: install always replaces whole buffers and load copies
+// out, so the buffers themselves are never mutated in place.
+func (h *Host) SnapshotStore() map[int64][]byte {
+	if len(h.store) == 0 {
+		return nil
+	}
+	cp := make(map[int64][]byte, len(h.store))
+	for k, v := range h.store {
+		cp[k] = v
+	}
+	return cp
+}
+
+// AttachStore installs an image's payload layer on a freshly built host
+// (the fork path). The map is copied so this fork's installs stay private.
+func (h *Host) AttachStore(base map[int64][]byte) {
+	h.store = make(map[int64][]byte, len(base))
+	for k, v := range base {
+		h.store[k] = v
+	}
+}
+
 // CPUBusy returns total host CPU occupancy; StackBusy and CopyBusy split it
 // into the paper's storage-access and data-movement shares.
 func (h *Host) CPUBusy() units.Duration { return h.cpu.Busy() }

@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight is one single-flight cache slot: the first requester computes the
+// value, everyone else waits on ready. Slots live in caller-owned maps
+// guarded by a caller-owned mutex; Await implements the protocol.
+type Flight[T any] struct {
+	ready chan struct{}
+	val   T
+	err   error
+}
+
+// Await implements the single-flight protocol shared by the experiment
+// Suite's cell cache and the cluster image/probe caches. get and set run
+// under mu (set(nil) evicts the slot); compute runs outside the lock. A
+// flight that failed only because its starter's context was cancelled is
+// evicted, and waiters with live contexts take another lap and compute it
+// themselves rather than inheriting a cancellation they never asked for.
+func Await[T any](ctx context.Context, mu *sync.Mutex,
+	get func() *Flight[T], set func(*Flight[T]),
+	compute func(context.Context) (T, error)) (T, error) {
+	for {
+		mu.Lock()
+		f := get()
+		if f == nil {
+			f = &Flight[T]{ready: make(chan struct{})}
+			set(f)
+			mu.Unlock()
+			f.val, f.err = compute(ctx)
+			if f.err != nil && IsCancellation(f.err) {
+				// Evict before close so retrying waiters find the slot empty.
+				mu.Lock()
+				set(nil)
+				mu.Unlock()
+			}
+			close(f.ready)
+			return f.val, f.err
+		}
+		mu.Unlock()
+		// Prefer a finished flight over noticing our own cancellation:
+		// when both channels are ready the cached result must win, or a
+		// cancelled parallel run would drop tables a sequential run had
+		// already printed.
+		select {
+		case <-f.ready:
+		default:
+			select {
+			case <-f.ready:
+			case <-ctx.Done():
+				var zero T
+				return zero, ctx.Err()
+			}
+		}
+		if f.err != nil && IsCancellation(f.err) && ctx.Err() == nil {
+			continue // starter was cancelled, not us: recompute
+		}
+		return f.val, f.err
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// aggregateParts builds a representative unlabeled cluster merge: cards
+// cards, each with kernels latencies/completions and a populated energy
+// breakdown, staggered offsets.
+func aggregateParts(cards, kernels int) []Part {
+	parts := make([]Part, cards)
+	for c := range parts {
+		res := &Result{System: "IntraO3", Makespan: units.Duration(1e9 + c)}
+		for k := 0; k < kernels; k++ {
+			res.KernelLatencies = append(res.KernelLatencies, units.Duration(1e6*(k+1)))
+			res.CompletionTimes = append(res.CompletionTimes, sim.Time(1e6*(k+1)+c))
+		}
+		res.Bytes = int64(c+1) * 1 << 20
+		res.WorkerUtil = 0.5
+		res.Energy[0], res.Energy[1], res.Energy[2] = 1.5, 2.5, 0.5
+		parts[c] = Part{Res: res, Offset: units.Duration(c) * 1000}
+	}
+	return parts
+}
+
+// TestAggregateAllocs pins the allocation profile of the cluster merge: the
+// latency concat and completion offset-shift slices are sized once from the
+// summed part lengths, so aggregating any number of parts costs a small
+// constant number of allocations (result struct, two slices, the
+// per-component and per-switch scratch maps) — not O(parts) regrowth.
+func TestAggregateAllocs(t *testing.T) {
+	for _, cards := range []int{2, 8, 32} {
+		parts := aggregateParts(cards, 24)
+		allocs := testing.AllocsPerRun(100, func() {
+			Aggregate("IntraO3", "MX1", cards, parts)
+		})
+		// 6 steady-state allocations: Result, KernelLatencies,
+		// CompletionTimes, comps map, sws map, names header. Leave one
+		// spare for runtime variance; what matters is independence from
+		// the card count.
+		if allocs > 7 {
+			t.Errorf("Aggregate(%d cards) costs %.0f allocs/op, want <= 7 (size-independent)", cards, allocs)
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	for _, cards := range []int{8, 64} {
+		parts := aggregateParts(cards, 24)
+		b.Run(fmt.Sprintf("cards=%d", cards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if r := Aggregate("IntraO3", "MX1", cards, parts); r.Bytes == 0 {
+					b.Fatal("empty aggregate")
+				}
+			}
+		})
+	}
+}

@@ -147,6 +147,22 @@ type SwitchUtil struct {
 // carry no Fig. 15 traces.
 func Aggregate(system, workload string, devices int, parts []Part) *Result {
 	r := &Result{System: system, Workload: workload}
+	// Size the concatenated latency and offset-shifted completion slices
+	// once from the summed part lengths, so merging N cards appends into
+	// exactly two allocations instead of regrowing per part.
+	var nLat, nComp int
+	for _, p := range parts {
+		if p.Res != nil {
+			nLat += len(p.Res.KernelLatencies)
+			nComp += len(p.Res.CompletionTimes)
+		}
+	}
+	if nLat > 0 {
+		r.KernelLatencies = make([]units.Duration, 0, nLat)
+	}
+	if nComp > 0 {
+		r.CompletionTimes = make([]sim.Time, 0, nComp)
+	}
 	var utilWeighted float64
 	comps := map[string]*power.Entry{}
 	type swAcc struct {

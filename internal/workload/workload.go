@@ -156,6 +156,12 @@ type Bundle struct {
 	// Bytes is the total input volume the kernels read (the throughput
 	// numerator).
 	Bytes int64
+	// Key identifies the bundle's exact content for caching: two bundles
+	// with equal non-empty keys were synthesized from the same descriptor
+	// at the same options, so device images and probe results built for
+	// one are valid for the other. Hand-assembled bundles leave it empty,
+	// which disables cross-run caching for them.
+	Key string
 }
 
 // Options tunes synthesis.
@@ -334,7 +340,11 @@ func Homogeneous(name string, o Options) (*Bundle, error) {
 		in = groupSize
 	}
 	inAddr := l.input(in)
-	b := &Bundle{Name: name, Populate: []Range{{Addr: inAddr, Bytes: in}}}
+	b := &Bundle{
+		Name:     name,
+		Key:      fmt.Sprintf("homog/%s@s%d/m%d", name, o.Scale, o.ScreensPerMB),
+		Populate: []Range{{Addr: inAddr, Bytes: in}},
+	}
 	for a := 0; a < 3; a++ {
 		app := App{Name: fmt.Sprintf("%s-%d", name, a)}
 		for k := 0; k < 2; k++ {
@@ -359,7 +369,10 @@ func Mix(n int, o Options) (*Bundle, error) {
 		return nil, err
 	}
 	l := newLayout()
-	b := &Bundle{Name: fmt.Sprintf("MX%d", n)}
+	b := &Bundle{
+		Name: fmt.Sprintf("MX%d", n),
+		Key:  fmt.Sprintf("mix/%d@s%d/m%d", n, o.Scale, o.ScreensPerMB),
+	}
 	for _, name := range members {
 		s, err := Lookup(name)
 		if err != nil {
@@ -466,6 +479,7 @@ func Sensitivity(serialPct int, screens int, o Options) (*Bundle, int64, error) 
 	}
 	b := &Bundle{
 		Name: tab.Name,
+		Key:  fmt.Sprintf("sens/%d/%d@s%d", serialPct, screens, o.Scale),
 		Apps: []App{{Name: tab.Name, Tables: []*kdt.Table{tab}}},
 	}
 	return b, nominalBytes, nil
