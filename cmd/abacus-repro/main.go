@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-devices N] [-topology] [-list]
+//	abacus-repro [-scale N] [-experiment id] [-jobs N] [-devices N]
+//	             [-topology] [-image-store DIR] [-v] [-list]
 //
 // scale divides the Table 2 input sizes (1 = paper scale; the default 16
 // finishes in well under a minute). jobs bounds how many independent device
@@ -14,6 +15,9 @@
 // cluster experiment is left out of 'all' and the output matches the
 // single-device evaluation exactly. -topology opts the heterogeneous-
 // topology sweep (multi-switch hosts, per-card geometry skew) into 'all'.
+// -image-store DIR persists device images under DIR so a later invocation
+// skips the build lifecycle (output stays byte-identical; corrupt entries
+// rebuild silently). -v prints image-cache statistics to stderr at exit.
 // -list prints the experiment ids. A SIGINT/SIGTERM cancels the run
 // cleanly.
 package main
@@ -33,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/imagestore"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -128,6 +133,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent device simulations (1 = fully sequential)")
 	devices := flag.Int("devices", 1, "max cards in the cluster scaling experiment (1 leaves it out of 'all')")
 	topology := flag.Bool("topology", false, "include the heterogeneous-topology sweep in 'all'")
+	imageStore := flag.String("image-store", "", "persist device images under this directory across invocations")
+	verbose := flag.Bool("v", false, "print image-cache statistics to stderr at exit")
 	list := flag.Bool("list", false, "print the experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -155,7 +162,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, os.Stdout, *scale, *exp, *jobs, *devices, *topology)
+	err := run(ctx, os.Stdout, runConfig{
+		scale: *scale, exp: *exp, jobs: *jobs, devices: *devices, topology: *topology,
+		imageStore: *imageStore, verbose: *verbose, errw: os.Stderr,
+	})
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr != nil {
@@ -177,10 +187,26 @@ func main() {
 	}
 }
 
+// runConfig carries the flag values a run executes with. Only scale, exp,
+// jobs, devices, and topology shape the bytes written to w; the image
+// store and verbosity knobs never touch stdout, which is what keeps the
+// golden-output regression byte-identical with or without them.
+type runConfig struct {
+	scale      int64
+	exp        string
+	jobs       int
+	devices    int
+	topology   bool
+	imageStore string    // -image-store: persistent image-store directory ("" = off)
+	verbose    bool      // -v: image-cache statistics at exit
+	errw       io.Writer // destination for -v statistics (nil discards)
+}
+
 // run renders the selected experiments to w. Everything the command prints
 // on stdout flows through w, so the golden-output regression test can
 // capture a full reproduction byte for byte.
-func run(ctx context.Context, w io.Writer, scale int64, exp string, jobs, devices int, topology bool) error {
+func run(ctx context.Context, w io.Writer, rc runConfig) error {
+	scale, exp, jobs, devices, topology := rc.scale, rc.exp, rc.jobs, rc.devices, rc.topology
 	if devices < 1 || devices > core.MaxDevices {
 		return fmt.Errorf("-devices %d outside [1,%d]", devices, core.MaxDevices)
 	}
@@ -214,6 +240,25 @@ func run(ctx context.Context, w io.Writer, scale int64, exp string, jobs, device
 	s := experiments.NewSuite(scale)
 	s.Workers = jobs
 	s.MaxDevices = devices
+	if rc.imageStore != "" {
+		st, err := imagestore.NewFSStore(rc.imageStore, 0)
+		if err != nil {
+			return err
+		}
+		s.SetImageStore(st)
+	}
+	// Store fills are asynchronous; drain them before returning so the next
+	// invocation finds every image this one built. The -v statistics print
+	// after the drain so the fill count is exact.
+	defer func() {
+		s.FlushImages()
+		if rc.verbose && rc.errw != nil {
+			st := s.ImageStats()
+			fmt.Fprintf(rc.errw, "image cache: memory %d hits / %d misses / %d evicted; probes %d hits / %d misses; store %d hits / %d misses / %d fills / %d errors\n",
+				st.ImageHits, st.ImageMisses, st.ImageEvictions, st.ProbeHits, st.ProbeMisses,
+				st.StoreHits, st.StoreMisses, st.StorePuts, st.StoreErrors)
+		}
+	}()
 
 	// The leading simulation-free tables print immediately — a paper-scale
 	// cache fill below can run for minutes and t1/t2/mixes need no device

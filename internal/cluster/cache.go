@@ -13,9 +13,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/imagestore"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -63,18 +65,77 @@ const (
 // ImageCache shares device images and work-steal probe results across runs.
 // A nil *ImageCache is valid and disables all caching; the zero value is
 // ready to use. Safe for concurrent use.
+//
+// With SetStore, the cache gains a second, persistent level: an image miss
+// consults the store before building (a decoded blob is as good as a
+// build), and a fresh build is encoded and written back asynchronously —
+// the requester never waits on store I/O it does not benefit from. Corrupt
+// or stale store entries are treated as misses; the single-flight
+// discipline spans both levels, so concurrent requesters for one key share
+// one load-or-build regardless of where it is satisfied from.
 type ImageCache struct {
 	mu     sync.Mutex
 	images boundedCache[imageKey, *core.Image]
 	probes boundedCache[probeKey, *stats.Result]
+
+	store   imagestore.Store
+	storeWG sync.WaitGroup
+	stStats struct{ hits, misses, puts, errors int64 }
+}
+
+// CacheStats is a point-in-time snapshot of cache behavior, per level.
+// Store fills (Puts) are asynchronous, so read them after FlushStore when
+// exactness matters.
+type CacheStats struct {
+	ImageHits, ImageMisses, ImageEvictions int64
+	ProbeHits, ProbeMisses, ProbeEvictions int64
+	StoreHits, StoreMisses                 int64 // persistent level, when attached
+	StorePuts, StoreErrors                 int64 // async fills; decode/encode/IO failures
+}
+
+// Stats returns current counters. Nil-safe, like every read path.
+func (c *ImageCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		ImageHits: c.images.hits, ImageMisses: c.images.misses, ImageEvictions: c.images.evictions,
+		ProbeHits: c.probes.hits, ProbeMisses: c.probes.misses, ProbeEvictions: c.probes.evictions,
+		StoreHits: c.stStats.hits, StoreMisses: c.stStats.misses,
+		StorePuts: c.stStats.puts, StoreErrors: c.stStats.errors,
+	}
+}
+
+// SetStore attaches (or, with nil, detaches) the persistent second level.
+// Call it before handing the cache out; it does not retro-fill.
+func (c *ImageCache) SetStore(st imagestore.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = st
+}
+
+// FlushStore blocks until every asynchronous store fill issued so far has
+// completed — the boundary a process must cross before its store is
+// guaranteed warm for the next process.
+func (c *ImageCache) FlushStore() {
+	if c == nil {
+		return
+	}
+	c.storeWG.Wait()
 }
 
 // boundedCache is a size-bounded single-flight map: entries and their
 // insertion order, evicted oldest-first past the limit. Both caches of an
 // ImageCache share one discipline (and one mutex, held by runner.Await).
+// The counters are guarded by that same mutex: a hit is a get that found a
+// flight (finished or shared in-flight), a miss is an insertion.
 type boundedCache[K comparable, V any] struct {
 	entries map[K]*runner.Flight[V]
 	order   []K
+
+	hits, misses, evictions int64
 }
 
 // await runs the single-flight protocol for key over this cache with the
@@ -87,7 +148,13 @@ func (bc *boundedCache[K, V]) await(ctx context.Context, mu *sync.Mutex, key K, 
 	// under the same key after capacity eviction removed mine.
 	var mine *runner.Flight[V]
 	return runner.Await(ctx, mu,
-		func() *runner.Flight[V] { return bc.entries[key] },
+		func() *runner.Flight[V] {
+			f := bc.entries[key]
+			if f != nil && f != mine {
+				bc.hits++
+			}
+			return f
+		},
 		func(f *runner.Flight[V]) {
 			if f == nil {
 				if bc.entries[key] != mine {
@@ -98,22 +165,44 @@ func (bc *boundedCache[K, V]) await(ctx context.Context, mu *sync.Mutex, key K, 
 				return
 			}
 			mine = f
+			bc.misses++
 			if bc.entries == nil {
 				bc.entries = map[K]*runner.Flight[V]{}
 			}
 			// Await inserts only into an empty slot (checked under this
 			// same lock), and eviction keeps order and entries in sync, so
 			// key is never already present: plain append stays
-			// duplicate-free. The loop never pops the just-inserted key —
-			// it is the order list's last element.
+			// duplicate-free.
 			bc.entries[key] = f
 			bc.order = append(bc.order, key)
-			for len(bc.entries) > limit && len(bc.order) > 1 {
-				delete(bc.entries, bc.order[0])
-				bc.order = bc.order[1:]
-			}
+			bc.evict(limit, key)
 		},
 		compute)
+}
+
+// evict enforces the capacity bound, oldest-insertion-first, skipping the
+// just-inserted key and any flight still being computed: evicting an
+// in-flight entry would break single-flight — its waiters keep waiting on
+// the orphaned flight while a new requester starts a duplicate build — so
+// the cache instead exceeds its bound transiently while more than limit
+// builds are in the air.
+func (bc *boundedCache[K, V]) evict(limit int, keep K) {
+	for len(bc.entries) > limit {
+		victim := -1
+		for i, k := range bc.order {
+			if k == keep || !bc.entries[k].Done() {
+				continue
+			}
+			victim = i
+			break
+		}
+		if victim < 0 {
+			return // everything evictable is in flight; retry on next insert
+		}
+		delete(bc.entries, bc.order[victim])
+		bc.order = append(bc.order[:victim], bc.order[victim+1:]...)
+		bc.evictions++
+	}
 }
 
 // dropKey removes the first occurrence of key from an insertion-order
@@ -159,7 +248,72 @@ func (c *ImageCache) image(ctx context.Context, cfg core.Config, b *workload.Bun
 	}
 	key := imageKey{build: cfg.BuildKey(), bundle: id, stage: stage}
 	return c.images.await(ctx, &c.mu, key, maxCachedImages,
-		func(ctx context.Context) (*core.Image, error) { return buildImage(ctx, c, cfg, b, stage) })
+		func(ctx context.Context) (*core.Image, error) { return c.loadOrBuild(ctx, key, cfg, b, stage) })
+}
+
+// stageName names a capture stage inside the store fingerprint.
+func (s imageStage) stageName() string {
+	if s == stageOffloaded {
+		return "offloaded"
+	}
+	return "populated"
+}
+
+// loadOrBuild is the memory-level miss path: consult the persistent store
+// first, fall back to the build lifecycle, and fill the store with what the
+// lifecycle produced. It runs inside the key's single flight, so at most
+// one goroutine per key is in here.
+func (c *ImageCache) loadOrBuild(ctx context.Context, key imageKey, cfg core.Config, b *workload.Bundle, stage imageStage) (*core.Image, error) {
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	if st == nil {
+		return buildImage(ctx, c, cfg, b, stage)
+	}
+	fp := imagestore.Fingerprint(key.build, key.bundle, stage.stageName())
+	if blob, err := st.Get(fp); err == nil {
+		img, derr := imagestore.Decode(cfg, blob)
+		if derr == nil {
+			c.countStore(func(s *storeCounters) { s.hits++ })
+			return img, nil
+		}
+		// Corrupt, truncated, or stale-version blob: a fresh build both
+		// recovers and overwrites the bad entry.
+		c.countStore(func(s *storeCounters) { s.errors++ })
+	} else if errors.Is(err, imagestore.ErrNotFound) {
+		c.countStore(func(s *storeCounters) { s.misses++ })
+	} else {
+		c.countStore(func(s *storeCounters) { s.errors++ })
+	}
+	img, err := buildImage(ctx, c, cfg, b, stage)
+	if err != nil {
+		return nil, err
+	}
+	// Fill asynchronously: encode+write costs the next process a rebuild if
+	// skipped, but costs this requester latency if awaited.
+	c.storeWG.Add(1)
+	go func() {
+		defer c.storeWG.Done()
+		blob, err := imagestore.Encode(img)
+		if err == nil {
+			err = st.Put(fp, blob)
+		}
+		if err != nil {
+			c.countStore(func(s *storeCounters) { s.errors++ })
+			return
+		}
+		c.countStore(func(s *storeCounters) { s.puts++ })
+	}()
+	return img, nil
+}
+
+// storeCounters aliases the anonymous counter struct for countStore.
+type storeCounters = struct{ hits, misses, puts, errors int64 }
+
+func (c *ImageCache) countStore(f func(*storeCounters)) {
+	c.mu.Lock()
+	f(&c.stStats)
+	c.mu.Unlock()
 }
 
 // buildImage walks the capture lifecycle once. The offloaded stage builds

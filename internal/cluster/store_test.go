@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/imagestore"
+)
+
+// TestImageCacheStoreLevel drives the two-process story on one MemStore: a
+// first cache builds and fills the store, a second (fresh, simulating a new
+// process) satisfies the same requests by decoding — no builds — and the
+// decoded images are deep-equal to the built ones.
+func TestImageCacheStoreLevel(t *testing.T) {
+	ctx := context.Background()
+	b := testBundle(t, 4096)
+	cfg := core.DefaultConfig(core.IntraO3)
+	st := imagestore.NewMemStore()
+
+	warm := NewImageCache()
+	warm.SetStore(st)
+	built, err := warm.Offloaded(ctx, cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.FlushStore()
+	ws := warm.Stats()
+	if ws.StoreHits != 0 || ws.StoreMisses == 0 || ws.StorePuts == 0 || ws.StoreErrors != 0 {
+		t.Fatalf("cold-process stats off: %+v", ws)
+	}
+	// Offloaded builds via Populated, so both stages must have been filled.
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d blobs, want 2 (populated + offloaded)", st.Len())
+	}
+
+	fresh := NewImageCache()
+	fresh.SetStore(st)
+	loaded, err := fresh.Offloaded(ctx, cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fresh.Stats()
+	if fs.StoreHits == 0 || fs.StoreMisses != 0 || fs.StoreErrors != 0 {
+		t.Fatalf("warm-process stats off: %+v", fs)
+	}
+	wantData, err := built.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotData, err := loaded.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotData, wantData) {
+		t.Fatal("store-loaded image differs from built image")
+	}
+}
+
+// corruptingStore flips a bit in everything it serves, simulating bit rot
+// underneath an otherwise well-behaved store.
+type corruptingStore struct {
+	inner imagestore.Store
+}
+
+func (s corruptingStore) Get(key string) ([]byte, error) {
+	blob, err := s.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	c := append([]byte(nil), blob...)
+	if len(c) > 0 {
+		c[len(c)/2] ^= 0x40
+	}
+	return c, nil
+}
+
+func (s corruptingStore) Put(key string, blob []byte) error { return s.inner.Put(key, blob) }
+
+// TestCorruptStoreFallsBack: every Get returns rotted bytes, so decodes
+// fail — the cache must rebuild silently and produce run output identical
+// to a no-store run.
+func TestCorruptStoreFallsBack(t *testing.T) {
+	ctx := context.Background()
+	b := testBundle(t, 4096)
+	cfg := core.DefaultConfig(core.IntraO3)
+
+	// Fill a store, then serve it through the corrupting wrapper.
+	mem := imagestore.NewMemStore()
+	filler := NewImageCache()
+	filler.SetStore(mem)
+	if _, err := filler.Offloaded(ctx, cfg, b); err != nil {
+		t.Fatal(err)
+	}
+	filler.FlushStore()
+
+	c := NewImageCache()
+	c.SetStore(corruptingStore{inner: mem})
+	got, err := RunSingleCached(ctx, cfg, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.StoreErrors == 0 || s.StoreHits != 0 {
+		t.Fatalf("corrupt store was not detected: %+v", s)
+	}
+	want, err := RunSingleCached(ctx, cfg, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("run over corrupt store differs from uncached run")
+	}
+}
+
+// TestEvictionSkipsInFlight pins the eviction fix: capacity pressure must
+// never evict a flight that is still computing — its waiters would be
+// orphaned and a new requester would duplicate the build — even if that
+// means transiently exceeding the bound.
+func TestEvictionSkipsInFlight(t *testing.T) {
+	var mu sync.Mutex
+	bc := &boundedCache[int, int]{}
+	ctx := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := bc.await(ctx, &mu, 1, 1, func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 100, nil
+		})
+		done <- err
+	}()
+	<-started
+
+	// A second key at limit 1: the oldest entry is in flight, so it must
+	// survive and the cache must run over its bound instead.
+	if _, err := bc.await(ctx, &mu, 2, 1, func(context.Context) (int, error) { return 200, nil }); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	_, kept := bc.entries[1]
+	size, evictions := len(bc.entries), bc.evictions
+	mu.Unlock()
+	if !kept {
+		t.Fatal("in-flight entry was evicted")
+	}
+	if size != 2 || evictions != 0 {
+		t.Fatalf("size %d evictions %d, want 2 and 0 (bound exceeded, nothing dropped)", size, evictions)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The survivor serves its waiters from cache.
+	v, err := bc.await(ctx, &mu, 1, 1, func(context.Context) (int, error) {
+		t.Error("recompute after spurious eviction")
+		return -1, nil
+	})
+	if err != nil || v != 100 {
+		t.Fatalf("await(1) = %d, %v; want 100", v, err)
+	}
+	// With every flight settled, the next insertion restores the bound.
+	if _, err := bc.await(ctx, &mu, 3, 1, func(context.Context) (int, error) { return 300, nil }); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	size, evictions = len(bc.entries), bc.evictions
+	mu.Unlock()
+	if size != 1 || evictions != 2 {
+		t.Fatalf("size %d evictions %d after settle, want 1 and 2", size, evictions)
+	}
+}
+
+// TestCacheStatsCounters pins the memory-level hit/miss accounting.
+func TestCacheStatsCounters(t *testing.T) {
+	ctx := context.Background()
+	b := testBundle(t, 4096)
+	cfg := core.DefaultConfig(core.IntraO3)
+	c := NewImageCache()
+	if _, err := c.Populated(ctx, cfg, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Populated(ctx, cfg, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.ImageMisses != 1 || s.ImageHits != 3 {
+		t.Fatalf("stats %+v, want 1 miss and 3 hits", s)
+	}
+	var nilCache *ImageCache
+	if nilCache.Stats() != (CacheStats{}) {
+		t.Fatal("nil cache stats not zero")
+	}
+	nilCache.FlushStore() // must not panic
+}

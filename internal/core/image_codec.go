@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/flashvisor"
+	"repro/internal/kdt"
+)
+
+// ImageData is the codec-visible flat decomposition of an Image: the FTL
+// decomposition, the functional payload bases, and the offload replay
+// records with each kernel re-encoded to its kdt wire bytes. Payload and
+// segment slices alias the image's frozen state — both sides treat them as
+// immutable.
+type ImageData struct {
+	FTL       flashvisor.FTLImageData
+	FlashBase map[flash.PhysGroup][]byte
+	HostBase  map[int64][]byte
+	Apps      []ImageApp
+}
+
+// ImageApp is the serializable form of one recorded OffloadApp call: the
+// kernels as kdt wire blobs plus the original wire sizes, which is all the
+// replayed PCIe BAR timing depends on.
+type ImageApp struct {
+	Name     string
+	Blobs    [][]byte
+	WireLens []int64
+}
+
+// Data decomposes the image for serialization, re-encoding each offloaded
+// kernel table to its deterministic kdt wire format.
+func (img *Image) Data() (ImageData, error) {
+	d := ImageData{
+		FTL:       img.ftl.Data(),
+		FlashBase: img.flashBase,
+		HostBase:  img.hostBase,
+	}
+	for _, rec := range img.apps {
+		app := ImageApp{Name: rec.name, WireLens: rec.wireLens}
+		for ki, tab := range rec.tables {
+			blob, err := tab.Encode()
+			if err != nil {
+				return ImageData{}, fmt.Errorf("core: encoding image app %s kernel %d: %w", rec.name, ki, err)
+			}
+			app.Blobs = append(app.Blobs, blob)
+		}
+		d.Apps = append(d.Apps, app)
+	}
+	return d, nil
+}
+
+// ImageFromData rebuilds an image from its decomposition under cfg — the
+// configuration of the requester about to fork it, which must carry the
+// same BuildKey the image was captured under (the store's fingerprint
+// guarantees this; the geometry check below re-verifies the part that
+// would corrupt a fork). Every kernel blob goes through the same kdt.Decode
+// the offload path uses, so a decoded image replays offloads through
+// identical device-side parsing.
+func ImageFromData(cfg Config, d ImageData) (*Image, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d.FTL.Geo != cfg.Flash {
+		return nil, fmt.Errorf("core: image geometry %+v does not match config %+v", d.FTL.Geo, cfg.Flash)
+	}
+	ftl, err := flashvisor.FTLImageFromData(d.FTL)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{
+		cfg:       cfg,
+		key:       cfg.BuildKey(),
+		ftl:       ftl,
+		flashBase: d.FlashBase,
+		hostBase:  d.HostBase,
+	}
+	for _, app := range d.Apps {
+		if len(app.Blobs) != len(app.WireLens) {
+			return nil, fmt.Errorf("core: image app %s has %d blobs but %d wire sizes", app.Name, len(app.Blobs), len(app.WireLens))
+		}
+		rec := offloadedApp{name: app.Name, wireLens: app.WireLens}
+		for ki, blob := range app.Blobs {
+			if app.WireLens[ki] <= 0 {
+				return nil, fmt.Errorf("core: image app %s kernel %d has non-positive wire size", app.Name, ki)
+			}
+			tab, err := kdt.Decode(blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: image app %s kernel %d: %w", app.Name, ki, err)
+			}
+			rec.tables = append(rec.tables, tab)
+		}
+		img.apps = append(img.apps, rec)
+	}
+	return img, nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/imagestore"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -164,6 +165,19 @@ func NewSuite(scale int64) *Suite {
 		images: cluster.NewImageCache(),
 	}
 }
+
+// SetImageStore attaches a persistent second level to the suite's image
+// cache: cells consult the store before building device images, and fresh
+// builds are written back asynchronously (see FlushImages). Call it before
+// the first Run or Prewarm.
+func (s *Suite) SetImageStore(st imagestore.Store) { s.images.SetStore(st) }
+
+// ImageStats returns the suite's image/probe cache counters.
+func (s *Suite) ImageStats() cluster.CacheStats { return s.images.Stats() }
+
+// FlushImages blocks until every asynchronous image-store fill has landed,
+// the boundary after which the store is warm for the next process.
+func (s *Suite) FlushImages() { s.images.FlushStore() }
 
 func (s *Suite) opts() workload.Options {
 	o := workload.DefaultOptions()

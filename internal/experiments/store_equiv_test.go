@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/imagestore"
+)
+
+// TestStoreLoadedEquivalenceAcrossKinds is the acceptance property of the
+// persistent image store: for every experiment kind, a cell computed in a
+// "second process" — a fresh suite whose images all decode from a store a
+// previous suite filled, never from a build — is deep-equal to the same
+// cell computed with the full per-device lifecycle.
+func TestStoreLoadedEquivalenceAcrossKinds(t *testing.T) {
+	const scale = 1024
+	jobs := []Job{
+		{Kind: KindHomogeneous, Name: "ATAX", Sys: core.IntraO3},
+		{Kind: KindHomogeneous, Name: "ATAX", Sys: core.SIMD},
+		{Kind: KindHeterogeneous, Mix: 1, Sys: core.InterDy},
+		{Kind: KindBigdata, Name: "bfs", Sys: core.InterSt},
+		{Kind: KindSensitivity, Cores: 4, Pct: 20, Sys: core.SIMD},
+		{Kind: KindSeries, Mix: 1, Sys: core.IntraO3},
+		{Kind: KindCluster, Name: "ATAX", Devices: 2, Policy: cluster.RoundRobin, Sys: core.IntraO3},
+		{Kind: KindCluster, Mix: 1, Devices: 2, Policy: cluster.WorkSteal, Sys: core.IntraO3},
+		{Kind: KindTopology, Mix: 1, Topo: "2sw-skew", Devices: 2, Policy: cluster.WorkSteal, Sys: core.IntraO3},
+	}
+	st := imagestore.NewMemStore()
+
+	// First process: run everything once, filling the store.
+	filler := NewSuite(scale)
+	filler.Workers = 1
+	filler.SetImageStore(st)
+	for _, j := range jobs {
+		if _, err := filler.Run(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filler.FlushImages()
+	if fs := filler.ImageStats(); fs.StorePuts == 0 {
+		t.Fatalf("first process filled nothing: %+v", fs)
+	}
+
+	// Second process: fresh suite and cache, same store. Every image it
+	// needs is in the store, so every cell runs on decoded images.
+	s := NewSuite(scale)
+	s.Workers = 1
+	s.SetImageStore(st)
+	for _, j := range jobs {
+		j := j
+		t.Run(j.String(), func(t *testing.T) {
+			got, err := s.Run(context.Background(), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uncached(t, s, j)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("store-loaded result diverged from lifecycle result:\nstore: %+v\nfresh: %+v", got, want)
+			}
+		})
+	}
+	ss := s.ImageStats()
+	if ss.StoreHits == 0 {
+		t.Fatalf("second process never hit the store: %+v", ss)
+	}
+	if ss.StoreMisses != 0 {
+		t.Errorf("second process missed the store %d times — first process under-filled (stats %+v)", ss.StoreMisses, ss)
+	}
+}

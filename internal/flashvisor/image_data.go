@@ -1,0 +1,142 @@
+package flashvisor
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+)
+
+// SegmentEntries is the entry count of one copy-on-write mapping-table
+// segment — the unit the persistent image codec serializes. Non-nil
+// segments always hold exactly this many int32s; a nil segment reads as
+// all-zero ("unmapped" under the tables' +1-biased encoding).
+const SegmentEntries = cowSegSize
+
+// SegmentCount returns the number of segments backing a mapping table of n
+// entries.
+func SegmentCount(n int64) int { return int((n + cowSegSize - 1) >> cowSegBits) }
+
+// FTLImageData is the codec-visible flat decomposition of an FTLImage: every
+// field an external serializer needs, with the copy-on-write machinery left
+// behind. Segment slices are shared with the image, never copied — both
+// sides treat them as immutable.
+type FTLImageData struct {
+	Geo           flash.Geometry
+	LogicalGroups int64
+	TableSegs     [][]int32 // forward table; len SegmentCount(LogicalGroups), nil = all-zero
+	RevSegs       [][]int32 // reverse table; len SegmentCount(Geo.TotalGroups())
+	ValidPerSB    []int32
+	FreeSBs       [][]flash.SuperBlock // per die row
+	UsedSBs       []flash.SuperBlock
+	Active        []flash.SuperBlock // per die row
+	HasActive     []bool
+	Cursor        []int
+	AllocRow      int
+}
+
+// Data decomposes the image for serialization. Segment slices alias the
+// image's frozen segments.
+func (img *FTLImage) Data() FTLImageData {
+	return FTLImageData{
+		Geo:           img.geo,
+		LogicalGroups: img.logicalGroups,
+		TableSegs:     img.table.segs,
+		RevSegs:       img.rev.segs,
+		ValidPerSB:    img.validPerSB,
+		FreeSBs:       img.freeSBs,
+		UsedSBs:       img.usedSBs,
+		Active:        img.active,
+		HasActive:     img.hasActive,
+		Cursor:        img.cursor,
+		AllocRow:      img.allocRow,
+	}
+}
+
+// FTLImageFromData rebuilds an image from its decomposition, adopting (not
+// copying) the segment and pool slices. It validates every structural
+// invariant a later fork or run would otherwise trust blindly, so a decoder
+// feeding it attacker-shaped data gets an error instead of a device that
+// panics mid-simulation.
+func FTLImageFromData(d FTLImageData) (*FTLImage, error) {
+	geo := d.Geo
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	dataGroups := int64(geo.SuperBlocks()) * int64(geo.DataGroupsPerSuperBlock())
+	if d.LogicalGroups <= 0 || d.LogicalGroups > dataGroups {
+		return nil, fmt.Errorf("flashvisor: image logical groups %d outside (0, %d]", d.LogicalGroups, dataGroups)
+	}
+	if err := checkSegs("table", d.TableSegs, d.LogicalGroups); err != nil {
+		return nil, err
+	}
+	if err := checkSegs("rev", d.RevSegs, geo.TotalGroups()); err != nil {
+		return nil, err
+	}
+	if len(d.ValidPerSB) != geo.SuperBlocks() {
+		return nil, fmt.Errorf("flashvisor: image has %d valid counts, geometry has %d super blocks", len(d.ValidPerSB), geo.SuperBlocks())
+	}
+	rows := geo.DieRows()
+	if len(d.FreeSBs) != rows || len(d.Active) != rows || len(d.HasActive) != rows || len(d.Cursor) != rows {
+		return nil, fmt.Errorf("flashvisor: image pool state does not match %d die rows", rows)
+	}
+	if d.AllocRow < 0 || d.AllocRow >= rows {
+		return nil, fmt.Errorf("flashvisor: image alloc row %d outside [0, %d)", d.AllocRow, rows)
+	}
+	checkSB := func(sb flash.SuperBlock) error {
+		if sb < 0 || int(sb) >= geo.SuperBlocks() {
+			return fmt.Errorf("flashvisor: image super block %d outside [0, %d)", sb, geo.SuperBlocks())
+		}
+		return nil
+	}
+	for _, row := range d.FreeSBs {
+		for _, sb := range row {
+			if err := checkSB(sb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, sb := range d.UsedSBs {
+		if err := checkSB(sb); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if d.HasActive[r] {
+			if err := checkSB(d.Active[r]); err != nil {
+				return nil, err
+			}
+		}
+		if d.Cursor[r] < 0 || d.Cursor[r] > geo.GroupsPerSuperBlock() {
+			return nil, fmt.Errorf("flashvisor: image cursor %d outside [0, %d]", d.Cursor[r], geo.GroupsPerSuperBlock())
+		}
+	}
+	return &FTLImage{
+		geo:           geo,
+		table:         cowView{n: d.LogicalGroups, segs: d.TableSegs},
+		rev:           cowView{n: geo.TotalGroups(), segs: d.RevSegs},
+		validPerSB:    d.ValidPerSB,
+		freeSBs:       d.FreeSBs,
+		usedSBs:       d.UsedSBs,
+		active:        d.Active,
+		hasActive:     d.HasActive,
+		cursor:        d.Cursor,
+		allocRow:      d.AllocRow,
+		logicalGroups: d.LogicalGroups,
+	}, nil
+}
+
+// checkSegs validates a segment directory against its table length: the
+// directory must be exactly full-size and every materialized segment must be
+// a whole segment, because cow32 indexes by shift/mask without bounds
+// re-checks.
+func checkSegs(name string, segs [][]int32, n int64) error {
+	if len(segs) != SegmentCount(n) {
+		return fmt.Errorf("flashvisor: image %s has %d segments, want %d for %d entries", name, len(segs), SegmentCount(n), n)
+	}
+	for i, seg := range segs {
+		if seg != nil && len(seg) != cowSegSize {
+			return fmt.Errorf("flashvisor: image %s segment %d has %d entries, want %d", name, i, len(seg), cowSegSize)
+		}
+	}
+	return nil
+}

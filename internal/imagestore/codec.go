@@ -1,0 +1,680 @@
+// The image wire format: a little-endian section table over flat payloads.
+//
+//	header (16 B):  magic "FAIM" · u16 version · u16 nsec · u32 crc · u32 0
+//	section table:  nsec × (u32 id · u32 0 · u64 off · u64 len · u32 crc · u32 0)
+//	payloads:       contiguous, each 8-byte aligned, no trailing bytes
+//
+// The header crc (CRC-32C) covers everything after the header — section
+// table, payloads, and alignment padding — so any bit flip anywhere in the
+// blob is detected; each section additionally carries its own CRC-32C for
+// targeted diagnostics. Sections appear in fixed id order and are all
+// mandatory, so a flipped section count or id also fails structurally.
+//
+// The layout is mmap-friendly: decode attaches, it does not copy. Mapping
+// table segments are stored as raw little-endian int32 runs at 8-aligned
+// offsets, so on little-endian machines the decoder reinterprets the blob
+// bytes in place (with a copying fallback elsewhere); flash, host, and
+// kernel payloads alias the blob directly. A decoded image therefore
+// borrows the blob — stores must never mutate a blob they handed out.
+package imagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/flash"
+	"repro/internal/flashvisor"
+)
+
+const (
+	magic     = "FAIM"
+	headerLen = 16
+	secEntLen = 32
+)
+
+// Section ids, in their mandatory wire order.
+const (
+	secFTL   = 1 // FTL geometry, log-head and pool state
+	secTable = 2 // forward mapping-table segments
+	secRev   = 3 // reverse mapping-table segments
+	secFlash = 4 // flash backbone payload base
+	secHost  = 5 // host store payload base
+	secApps  = 6 // offload replay records (kdt wire blobs + BAR sizes)
+)
+
+var sectionOrder = [...]uint32{secFTL, secTable, secRev, secFlash, secHost, secApps}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes an image to its deterministic wire format: the same
+// image always yields the same bytes (map payloads are emitted in sorted
+// key order).
+func Encode(img *core.Image) ([]byte, error) {
+	d, err := img.Data()
+	if err != nil {
+		return nil, err
+	}
+	payloads := [len(sectionOrder)][]byte{
+		encodeFTL(d.FTL),
+		encodeSegs(d.FTL.LogicalGroups, d.FTL.TableSegs),
+		encodeSegs(d.FTL.Geo.TotalGroups(), d.FTL.RevSegs),
+		encodeFlashBase(d.FlashBase),
+		encodeHostBase(d.HostBase),
+		encodeApps(d.Apps),
+	}
+
+	off := int64(headerLen + len(sectionOrder)*secEntLen)
+	off = align8(off)
+	var table []byte
+	for i, p := range payloads {
+		table = binary.LittleEndian.AppendUint32(table, sectionOrder[i])
+		table = binary.LittleEndian.AppendUint32(table, 0)
+		table = binary.LittleEndian.AppendUint64(table, uint64(off))
+		table = binary.LittleEndian.AppendUint64(table, uint64(len(p)))
+		table = binary.LittleEndian.AppendUint32(table, crc32.Checksum(p, castagnoli))
+		table = binary.LittleEndian.AppendUint32(table, 0)
+		off = align8(off + int64(len(p)))
+	}
+
+	blob := make([]byte, 0, off)
+	blob = append(blob, magic...)
+	blob = binary.LittleEndian.AppendUint16(blob, CodecVersion)
+	blob = binary.LittleEndian.AppendUint16(blob, uint16(len(sectionOrder)))
+	blob = binary.LittleEndian.AppendUint32(blob, 0) // blob crc, patched below
+	blob = binary.LittleEndian.AppendUint32(blob, 0)
+	blob = append(blob, table...)
+	for _, p := range payloads {
+		for int64(len(blob))%8 != 0 {
+			blob = append(blob, 0)
+		}
+		blob = append(blob, p...)
+	}
+	binary.LittleEndian.PutUint32(blob[8:], crc32.Checksum(blob[headerLen:], castagnoli))
+	return blob, nil
+}
+
+// Decode rebuilds an image from blob for a requester configured with cfg.
+// The blob's geometry must match cfg's — the fingerprint normally
+// guarantees it; a mismatch means the blob is stale or misfiled and is
+// reported as corruption. Every failure mode returns an error satisfying
+// errors.Is(err, ErrCorrupt); Decode never panics on hostile input. The
+// returned image aliases blob, which must not be mutated afterwards.
+func Decode(cfg core.Config, blob []byte) (*core.Image, error) {
+	secs, err := parseSections(blob)
+	if err != nil {
+		return nil, err
+	}
+	d := core.ImageData{}
+	if d.FTL, err = decodeFTL(secs[secFTL]); err != nil {
+		return nil, err
+	}
+	if d.FTL.Geo != cfg.Flash {
+		return nil, corruptf("geometry %+v does not match requester %+v", d.FTL.Geo, cfg.Flash)
+	}
+	if d.FTL.TableSegs, err = decodeSegs(secs[secTable], d.FTL.LogicalGroups); err != nil {
+		return nil, err
+	}
+	if d.FTL.RevSegs, err = decodeSegs(secs[secRev], d.FTL.Geo.TotalGroups()); err != nil {
+		return nil, err
+	}
+	if d.FlashBase, err = decodeFlashBase(secs[secFlash]); err != nil {
+		return nil, err
+	}
+	if d.HostBase, err = decodeHostBase(secs[secHost]); err != nil {
+		return nil, err
+	}
+	if d.Apps, err = decodeApps(secs[secApps]); err != nil {
+		return nil, err
+	}
+	img, err := core.ImageFromData(cfg, d)
+	if err != nil {
+		return nil, corruptf("rejected by image validation: %v", err)
+	}
+	return img, nil
+}
+
+// corruptf wraps a decode failure so errors.Is(err, ErrCorrupt) holds.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// parseSections verifies the envelope — magic, version, whole-blob CRC,
+// section table structure, per-section CRCs — and returns the payload of
+// each section keyed by id.
+func parseSections(blob []byte) (map[uint32][]byte, error) {
+	if len(blob) < headerLen {
+		return nil, corruptf("blob too short (%d bytes)", len(blob))
+	}
+	if string(blob[:4]) != magic {
+		return nil, corruptf("bad magic %q", blob[:4])
+	}
+	if v := binary.LittleEndian.Uint16(blob[4:]); v != CodecVersion {
+		return nil, corruptf("codec version %d, want %d", v, CodecVersion)
+	}
+	if n := binary.LittleEndian.Uint16(blob[6:]); int(n) != len(sectionOrder) {
+		return nil, corruptf("%d sections, want %d", n, len(sectionOrder))
+	}
+	if binary.LittleEndian.Uint32(blob[12:]) != 0 {
+		return nil, corruptf("non-zero header padding")
+	}
+	if got, want := crc32.Checksum(blob[headerLen:], castagnoli), binary.LittleEndian.Uint32(blob[8:]); got != want {
+		return nil, corruptf("blob checksum %08x, want %08x", got, want)
+	}
+	tableEnd := headerLen + len(sectionOrder)*secEntLen
+	if len(blob) < tableEnd {
+		return nil, corruptf("blob truncated inside section table")
+	}
+	secs := make(map[uint32][]byte, len(sectionOrder))
+	next := align8(int64(tableEnd))
+	for i, id := range sectionOrder {
+		ent := blob[headerLen+i*secEntLen:]
+		if binary.LittleEndian.Uint32(ent) != id {
+			return nil, corruptf("section %d has id %d, want %d", i, binary.LittleEndian.Uint32(ent), id)
+		}
+		if binary.LittleEndian.Uint32(ent[4:]) != 0 || binary.LittleEndian.Uint32(ent[28:]) != 0 {
+			return nil, corruptf("section %d has non-zero padding", i)
+		}
+		off := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		if int64(off) != next {
+			return nil, corruptf("section %d at offset %d, want %d", i, off, next)
+		}
+		if off > uint64(len(blob)) || length > uint64(len(blob))-off {
+			return nil, corruptf("section %d overruns blob", i)
+		}
+		p := blob[off : off+length]
+		if got, want := crc32.Checksum(p, castagnoli), binary.LittleEndian.Uint32(ent[24:]); got != want {
+			return nil, corruptf("section %d checksum %08x, want %08x", i, got, want)
+		}
+		secs[id] = p
+		next = align8(int64(off + length))
+	}
+	// No trailing bytes: the last section must end exactly at blob end, so
+	// appended garbage cannot hide past the table.
+	lastEnt := blob[headerLen+(len(sectionOrder)-1)*secEntLen:]
+	if end := binary.LittleEndian.Uint64(lastEnt[8:]) + binary.LittleEndian.Uint64(lastEnt[16:]); end != uint64(len(blob)) {
+		return nil, corruptf("%d trailing bytes", uint64(len(blob))-end)
+	}
+	return secs, nil
+}
+
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// --- FTL scalar/pool section -----------------------------------------------
+
+func encodeFTL(d flashvisor.FTLImageData) []byte {
+	w := &wbuf{}
+	g := d.Geo
+	for _, v := range []int64{int64(g.Channels), int64(g.PackagesPerCh), int64(g.DiesPerPkg),
+		int64(g.PlanesPerDie), g.PageSize, int64(g.PagesPerBlock), int64(g.BlocksPerDie), int64(g.MetaPages)} {
+		w.i64(v)
+	}
+	w.i64(d.LogicalGroups)
+	w.i64(int64(d.AllocRow))
+	w.u32(uint32(len(d.FreeSBs)))
+	w.u32(uint32(len(d.ValidPerSB)))
+	for _, v := range d.ValidPerSB {
+		w.u32(uint32(v))
+	}
+	for _, row := range d.FreeSBs {
+		w.u32(uint32(len(row)))
+		for _, sb := range row {
+			w.u32(uint32(sb))
+		}
+	}
+	w.u32(uint32(len(d.UsedSBs)))
+	for _, sb := range d.UsedSBs {
+		w.u32(uint32(sb))
+	}
+	for _, sb := range d.Active {
+		w.u32(uint32(sb))
+	}
+	for _, h := range d.HasActive {
+		if h {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	for _, c := range d.Cursor {
+		w.i64(int64(c))
+	}
+	return w.b
+}
+
+func decodeFTL(p []byte) (flashvisor.FTLImageData, error) {
+	r := &rbuf{b: p}
+	var d flashvisor.FTLImageData
+	d.Geo = flash.Geometry{
+		Channels: int(r.i64()), PackagesPerCh: int(r.i64()), DiesPerPkg: int(r.i64()),
+		PlanesPerDie: int(r.i64()), PageSize: r.i64(), PagesPerBlock: int(r.i64()),
+		BlocksPerDie: int(r.i64()), MetaPages: int(r.i64()),
+	}
+	d.LogicalGroups = r.i64()
+	d.AllocRow = int(r.i64())
+	rows := r.u32()
+	nValid := r.u32()
+	if r.err != nil {
+		return d, corruptf("ftl section: %v", r.err)
+	}
+	// All remaining counts derive from the geometry the requester will
+	// verify; bound allocations by what the section's bytes can justify so
+	// a hostile header cannot force a huge allocation.
+	if err := r.reserve(int64(nValid) * 4); err != nil {
+		return d, err
+	}
+	d.ValidPerSB = make([]int32, nValid)
+	for i := range d.ValidPerSB {
+		d.ValidPerSB[i] = int32(r.u32())
+	}
+	if err := r.reserve(int64(rows) * 4); err != nil {
+		return d, err
+	}
+	// Empty pool queues decode as nil, matching Snapshot's append-to-nil
+	// copies, so a decoded image is deep-equal to the one it came from.
+	readSBs := func() ([]flash.SuperBlock, error) {
+		n := r.u32()
+		if err := r.reserve(int64(n) * 4); err != nil {
+			return nil, err
+		}
+		var sbs []flash.SuperBlock
+		for j := uint32(0); j < n; j++ {
+			sbs = append(sbs, flash.SuperBlock(r.u32()))
+		}
+		return sbs, nil
+	}
+	var err error
+	d.FreeSBs = make([][]flash.SuperBlock, rows)
+	for i := range d.FreeSBs {
+		if d.FreeSBs[i], err = readSBs(); err != nil {
+			return d, err
+		}
+	}
+	if d.UsedSBs, err = readSBs(); err != nil {
+		return d, err
+	}
+	if err := r.reserve(int64(rows) * 13); err != nil { // 4+1+8 bytes per row
+		return d, err
+	}
+	d.Active = make([]flash.SuperBlock, rows)
+	for i := range d.Active {
+		d.Active[i] = flash.SuperBlock(r.u32())
+	}
+	d.HasActive = make([]bool, rows)
+	for i := range d.HasActive {
+		d.HasActive[i] = r.u8() != 0
+	}
+	d.Cursor = make([]int, rows)
+	for i := range d.Cursor {
+		d.Cursor[i] = int(r.i64())
+	}
+	if err := r.finish("ftl"); err != nil {
+		return d, err
+	}
+	// Bound LogicalGroups here (FTLImageFromData re-checks): the segment
+	// decoders size their directories by it, and that allocation must never
+	// exceed what a real table over this geometry could need.
+	if err := d.Geo.Validate(); err != nil {
+		return d, corruptf("ftl geometry: %v", err)
+	}
+	dataGroups := int64(d.Geo.SuperBlocks()) * int64(d.Geo.DataGroupsPerSuperBlock())
+	if d.LogicalGroups <= 0 || d.LogicalGroups > dataGroups {
+		return d, corruptf("logical groups %d outside (0, %d]", d.LogicalGroups, dataGroups)
+	}
+	return d, nil
+}
+
+// --- mapping-table segment sections ----------------------------------------
+
+// encodeSegs emits one mapping table: a directory of present (non-nil)
+// segment indices, then the raw little-endian int32 bytes of each present
+// segment, 8-aligned so decode can reinterpret them in place.
+func encodeSegs(n int64, segs [][]int32) []byte {
+	w := &wbuf{}
+	w.i64(n)
+	present := 0
+	for _, s := range segs {
+		if s != nil {
+			present++
+		}
+	}
+	w.u32(uint32(present))
+	w.u32(0)
+	for i, s := range segs {
+		if s != nil {
+			w.u32(uint32(i))
+		}
+	}
+	w.pad8()
+	for _, s := range segs {
+		if s == nil {
+			continue
+		}
+		for _, v := range s {
+			w.u32(uint32(v))
+		}
+	}
+	return w.b
+}
+
+// decodeSegs rebuilds a segment directory, attaching segment storage to the
+// blob bytes where alignment and byte order allow. want is the table length
+// the requester's geometry dictates; the blob must agree.
+func decodeSegs(p []byte, want int64) ([][]int32, error) {
+	r := &rbuf{b: p}
+	n := r.i64()
+	present := r.u32()
+	if r.u32() != 0 || r.err != nil {
+		return nil, corruptf("segment section header")
+	}
+	if n != want {
+		return nil, corruptf("mapping table has %d entries, requester expects %d", n, want)
+	}
+	nsegs := flashvisor.SegmentCount(n)
+	if int64(present) > int64(nsegs) {
+		return nil, corruptf("%d present segments of %d", present, nsegs)
+	}
+	if err := r.reserve(int64(present) * 4); err != nil {
+		return nil, err
+	}
+	idx := make([]uint32, present)
+	prev := int64(-1)
+	for i := range idx {
+		idx[i] = r.u32()
+		if int64(idx[i]) <= prev || int64(idx[i]) >= int64(nsegs) {
+			return nil, corruptf("segment index %d out of order or range", idx[i])
+		}
+		prev = int64(idx[i])
+	}
+	r.align8()
+	segs := make([][]int32, nsegs)
+	const segBytes = flashvisor.SegmentEntries * 4
+	for _, i := range idx {
+		raw := r.bytes(segBytes)
+		if r.err != nil {
+			return nil, corruptf("segment payloads: %v", r.err)
+		}
+		segs[i] = int32view(raw)
+	}
+	if err := r.finish("segments"); err != nil {
+		return nil, err
+	}
+	return segs, nil
+}
+
+// nativeLE reports whether this machine stores integers little-endian, the
+// wire byte order — true everywhere the suite runs (amd64/arm64), with a
+// portable copying fallback below.
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32view reinterprets b (length a multiple of 4) as []int32 without
+// copying when the platform byte order and the slice's alignment allow;
+// otherwise it decodes through a copy.
+func int32view(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if nativeLE && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// --- payload base sections -------------------------------------------------
+
+func encodeFlashBase(base map[flash.PhysGroup][]byte) []byte {
+	keys := make([]int64, 0, len(base))
+	for pg := range base {
+		keys = append(keys, int64(pg))
+	}
+	return encodeByteMap(keys, func(k int64) []byte { return base[flash.PhysGroup(k)] })
+}
+
+func encodeHostBase(base map[int64][]byte) []byte {
+	keys := make([]int64, 0, len(base))
+	for addr := range base {
+		keys = append(keys, addr)
+	}
+	return encodeByteMap(keys, func(k int64) []byte { return base[k] })
+}
+
+// encodeByteMap emits an int64-keyed payload map deterministically: a
+// sorted (key, length) directory followed by the payloads in key order.
+func encodeByteMap(keys []int64, get func(int64) []byte) []byte {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w := &wbuf{}
+	w.u32(uint32(len(keys)))
+	w.u32(0)
+	for _, k := range keys {
+		w.i64(k)
+		w.i64(int64(len(get(k))))
+	}
+	for _, k := range keys {
+		w.b = append(w.b, get(k)...)
+	}
+	return w.b
+}
+
+func decodeFlashBase(p []byte) (map[flash.PhysGroup][]byte, error) {
+	var m map[flash.PhysGroup][]byte
+	err := decodeByteMap(p, func(n int) {
+		m = make(map[flash.PhysGroup][]byte, n)
+	}, func(k int64, v []byte) {
+		m[flash.PhysGroup(k)] = v
+	})
+	return m, err
+}
+
+func decodeHostBase(p []byte) (map[int64][]byte, error) {
+	var m map[int64][]byte
+	err := decodeByteMap(p, func(n int) {
+		m = make(map[int64][]byte, n)
+	}, func(k int64, v []byte) {
+		m[k] = v
+	})
+	return m, err
+}
+
+// decodeByteMap parses an int64-keyed payload map, aliasing each payload
+// into the blob. An empty map decodes as nil, matching SnapshotStore's
+// convention for timing-only devices. init is only called for non-empty
+// maps, sized by the directory the section's own bytes justify.
+func decodeByteMap(p []byte, init func(n int), put func(k int64, v []byte)) error {
+	r := &rbuf{b: p}
+	n := r.u32()
+	if r.u32() != 0 || r.err != nil {
+		return corruptf("payload map header")
+	}
+	if n == 0 {
+		return r.finish("payload map")
+	}
+	if err := r.reserve(int64(n) * 16); err != nil {
+		return err
+	}
+	type ent struct {
+		key int64
+		len int64
+	}
+	dir := make([]ent, n)
+	prev := int64(0)
+	for i := range dir {
+		dir[i] = ent{key: r.i64(), len: r.i64()}
+		if i > 0 && dir[i].key <= prev {
+			return corruptf("payload keys out of order")
+		}
+		prev = dir[i].key
+		if dir[i].len < 0 {
+			return corruptf("negative payload length")
+		}
+	}
+	init(int(n))
+	for _, e := range dir {
+		v := r.bytes(int(e.len))
+		if r.err != nil {
+			return corruptf("payloads: %v", r.err)
+		}
+		put(e.key, v)
+	}
+	return r.finish("payload map")
+}
+
+// --- offload replay section ------------------------------------------------
+
+func encodeApps(apps []core.ImageApp) []byte {
+	w := &wbuf{}
+	w.u32(uint32(len(apps)))
+	w.u32(0)
+	for _, app := range apps {
+		w.u32(uint32(len(app.Name)))
+		w.b = append(w.b, app.Name...)
+		w.u32(uint32(len(app.Blobs)))
+		for ki, blob := range app.Blobs {
+			w.i64(app.WireLens[ki])
+			w.u32(uint32(len(blob)))
+			w.b = append(w.b, blob...)
+		}
+	}
+	return w.b
+}
+
+func decodeApps(p []byte) ([]core.ImageApp, error) {
+	r := &rbuf{b: p}
+	n := r.u32()
+	if r.u32() != 0 || r.err != nil {
+		return nil, corruptf("apps header")
+	}
+	var apps []core.ImageApp
+	for i := uint32(0); i < n; i++ {
+		var app core.ImageApp
+		app.Name = string(r.bytes(int(r.u32())))
+		nk := r.u32()
+		if r.err != nil {
+			return nil, corruptf("app %d: %v", i, r.err)
+		}
+		for k := uint32(0); k < nk; k++ {
+			app.WireLens = append(app.WireLens, r.i64())
+			app.Blobs = append(app.Blobs, r.bytes(int(r.u32())))
+			if r.err != nil {
+				return nil, corruptf("app %d kernel %d: %v", i, k, r.err)
+			}
+		}
+		apps = append(apps, app)
+	}
+	if err := r.finish("apps"); err != nil {
+		return nil, err
+	}
+	return apps, nil
+}
+
+// --- little-endian write/read buffers --------------------------------------
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) i64(v int64)  { w.b = binary.LittleEndian.AppendUint64(w.b, uint64(v)) }
+func (w *wbuf) pad8() {
+	for len(w.b)%8 != 0 {
+		w.b = append(w.b, 0)
+	}
+}
+
+// rbuf is a bounds-checked little-endian reader: overruns latch err and
+// subsequent reads return zeros, so decoders validate once at the end.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 || r.off+n > len(r.b) || r.off+n < r.off {
+		r.err = fmt.Errorf("need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return false
+	}
+	return true
+}
+
+// reserve errors out unless at least n more bytes remain: decoders call it
+// before allocating count-driven structures, so allocation size is always
+// bounded by real section bytes.
+func (r *rbuf) reserve(n int64) error {
+	if r.err != nil {
+		return corruptf("%v", r.err)
+	}
+	if n < 0 || n > int64(len(r.b)-r.off) {
+		r.err = fmt.Errorf("count needs %d bytes, %d remain", n, len(r.b)-r.off)
+		return corruptf("%v", r.err)
+	}
+	return nil
+}
+
+func (r *rbuf) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) i64() int64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *rbuf) bytes(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *rbuf) align8() {
+	for r.off%8 != 0 && r.err == nil {
+		if r.u8() != 0 {
+			r.err = fmt.Errorf("non-zero alignment padding at offset %d", r.off-1)
+		}
+	}
+}
+
+// finish reports any latched error or unconsumed trailing bytes.
+func (r *rbuf) finish(what string) error {
+	if r.err != nil {
+		return corruptf("%s: %v", what, r.err)
+	}
+	if r.off != len(r.b) {
+		return corruptf("%s: %d trailing bytes", what, len(r.b)-r.off)
+	}
+	return nil
+}

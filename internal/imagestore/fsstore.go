@@ -1,0 +1,162 @@
+package imagestore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBytes is the filesystem store's size bound when the caller
+// passes 0: roomy enough for every image of a full evaluation suite at
+// several scales, small enough to live in a CI cache.
+const DefaultMaxBytes = 1 << 30
+
+// blobExt marks store entries; everything else in the directory (temp
+// files, foreign files) is left alone by Get/Put and GC.
+const blobExt = ".img"
+
+// FSStore is a filesystem-backed Store: one file per fingerprint under a
+// single directory. It is safe for concurrent use by multiple processes —
+// writes go through a private temp file and an atomic rename, so readers
+// observe either the old blob or the new one, never a torn write (and a
+// torn write from a crashed process is caught by the codec's checksums
+// anyway, which is why Get does no verification of its own).
+//
+// The store is size-bounded: after each Put, entries are garbage-collected
+// least-recently-used-first (by mtime, which Get refreshes) until the
+// directory fits maxBytes again.
+type FSStore struct {
+	dir string
+	max int64
+
+	// gcMu serializes in-process GC scans; cross-process races are benign
+	// (both processes delete the same oldest files, misses rebuild).
+	gcMu sync.Mutex
+}
+
+// NewFSStore opens (creating if needed) a store rooted at dir. maxBytes
+// bounds the directory's total blob size; 0 means DefaultMaxBytes.
+func NewFSStore(dir string, maxBytes int64) (*FSStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("imagestore: %w", err)
+	}
+	return &FSStore{dir: dir, max: maxBytes}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+func (s *FSStore) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("imagestore: invalid key %q", key)
+	}
+	return filepath.Join(s.dir, key+blobExt), nil
+}
+
+// Get returns the blob stored under key and refreshes its mtime, which is
+// the LRU clock GC evicts by. The returned slice is private to the caller.
+func (s *FSStore) Get(key string) ([]byte, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("imagestore: %w", err)
+	}
+	now := time.Now()
+	_ = os.Chtimes(p, now, now) // best-effort LRU touch
+	return blob, nil
+}
+
+// Put atomically installs blob under key and then garbage-collects the
+// store back under its size bound.
+func (s *FSStore) Put(key string, blob []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("imagestore: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), p)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("imagestore: %w", werr)
+	}
+	return s.gc()
+}
+
+// gc deletes least-recently-used blobs (and stale temp files) until the
+// directory's blob bytes fit the bound again. A concurrent process may
+// race the deletes; losing that race only costs a store miss.
+func (s *FSStore) gc() error {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("imagestore: %w", err)
+	}
+	type blob struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var blobs []blob
+	var total int64
+	for _, ent := range ents {
+		name := ent.Name()
+		info, err := ent.Info()
+		if err != nil || ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			// A temp file this old belongs to a crashed writer.
+			if time.Since(info.ModTime()) > time.Hour {
+				os.Remove(filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, blobExt) {
+			continue
+		}
+		blobs = append(blobs, blob{path: filepath.Join(s.dir, name), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.max {
+		return nil
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].mtime.Before(blobs[j].mtime) })
+	for _, b := range blobs {
+		if total <= s.max {
+			break
+		}
+		if os.Remove(b.path) == nil {
+			total -= b.size
+		}
+	}
+	return nil
+}

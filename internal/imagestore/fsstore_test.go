@@ -1,0 +1,150 @@
+package imagestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFSStoreRoundTrip(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: err = %v, want ErrNotFound", err)
+	}
+	blob := []byte("not actually an image, the store does not care")
+	if err := s.Put("deadbeef", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatalf("Get = %q, want %q", got, blob)
+	}
+	// Overwrite replaces atomically.
+	if err := s.Put("deadbeef", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("deadbeef"); string(got) != "v2" {
+		t.Fatalf("Get after overwrite = %q, want v2", got)
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+func TestFSStoreRejectsHostileKeys(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", `a\b`, "dot.dot"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a hostile key", key)
+		}
+		if _, err := s.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q) did not reject the key outright", key)
+		}
+	}
+}
+
+func TestFSStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	// Bound at 3 KiB with 1 KiB blobs: the fourth Put must evict the
+	// least-recently-used entry.
+	s, err := NewFSStore(dir, 3*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 1024)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("blob%d", i), blob); err != nil {
+			t.Fatal(err)
+		}
+		// Spread mtimes so LRU order is unambiguous on coarse filesystems.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, fmt.Sprintf("blob%d", i)+blobExt), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch blob0 via Get: it becomes the most recently used.
+	if _, err := s.Get("blob0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("blob3", blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("blob1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("blob1 (least recently used) survived GC: err = %v", err)
+	}
+	for _, key := range []string{"blob0", "blob3"} {
+		if _, err := s.Get(key); err != nil {
+			t.Fatalf("%s evicted unexpectedly: %v", key, err)
+		}
+	}
+}
+
+func TestFSStoreConcurrent(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key%d", g%4)
+			blob := []byte(strings.Repeat("x", 100+g))
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key, blob); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, err := s.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Error(err)
+					return
+				} else if err == nil && len(got) < 100 {
+					t.Errorf("torn read: %d bytes", len(got))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	blob := []byte{1, 2, 3}
+	if err := s.Put("k", blob); err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 9 // Put copies: caller mutations must not reach the store
+	got, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || s.Len() != 1 {
+		t.Fatalf("got %v (len %d), want [1 2 3] (len 1)", got, s.Len())
+	}
+}

@@ -1,0 +1,103 @@
+// Package imagestore persists core.Image snapshots across processes: a
+// content-addressed blob store plus a deterministic, versioned binary codec.
+//
+// PR 5 made device startup build-once/fork-many, but the image cache is
+// process-local — every fresh process (CI run, CLI invocation, future
+// service worker) rebuilds every image from scratch. This package is the
+// second cache level underneath cluster.ImageCache: images are keyed by a
+// fingerprint of (core.BuildKey, workload.Bundle.Key, capture stage), the
+// exact identity the in-memory cache already uses, so a warm store hands a
+// brand-new process the same near-instant cold start a warm process enjoys.
+//
+// The trust model is "cache, not archive": a Get that returns garbage —
+// torn write, bit rot, stale codec version — must decode to ErrCorrupt,
+// never a panic or a wrong image, and callers silently fall back to a fresh
+// build. The codec therefore checksums everything and the decoder validates
+// every structural invariant against the requester's own configuration
+// before an image is handed out.
+package imagestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CodecVersion is the image blob format version. It participates in both
+// the wire header and the fingerprint, so bumping it makes every old entry
+// both unaddressable (different key) and undecodable (version check) —
+// stale blobs are garbage-collected, never misread.
+const CodecVersion = 1
+
+// ErrNotFound reports a key with no stored blob.
+var ErrNotFound = errors.New("imagestore: not found")
+
+// ErrCorrupt reports a blob that failed decoding — truncation, checksum or
+// version mismatch, or structural invariants that do not hold. Callers
+// treat it as a miss and rebuild.
+var ErrCorrupt = errors.New("imagestore: corrupt image blob")
+
+// Store is a flat blob store. Implementations must be safe for concurrent
+// use; Get's result must not be mutated by callers (decoded images alias
+// it), and Put takes ownership semantics per implementation — MemStore
+// copies, FSStore writes through.
+//
+// Get returns ErrNotFound for absent keys. Put overwrites atomically: a
+// concurrent Get sees either the old blob or the new one, never a torn mix.
+type Store interface {
+	Get(key string) ([]byte, error)
+	Put(key string, blob []byte) error
+}
+
+// Fingerprint derives the content address of an image: the build key that
+// shapes populated device state, the bundle's content key, and the capture
+// stage, all under the codec version. Two processes that would build
+// byte-identical images compute the same fingerprint.
+func Fingerprint(build core.BuildKey, bundle, stage string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("flashabacus-image/v%d|%+v|%s|%s", CodecVersion, build, bundle, stage)))
+	return hex.EncodeToString(h[:])
+}
+
+// MemStore is an in-memory Store: the process-lifetime backend for tests
+// and for sharing across caches without touching disk. The zero value is
+// ready to use.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Get returns the stored blob. The caller must not mutate it.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	blob, ok := s.m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return blob, nil
+}
+
+// Put stores a private copy of blob under key.
+func (s *MemStore) Put(key string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string][]byte{}
+	}
+	s.m[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Len returns the number of stored blobs.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -14,6 +14,20 @@ type Flight[T any] struct {
 	err   error
 }
 
+// Done reports whether the flight's computation has finished (successfully
+// or not). Callers holding the mutex that guards the flight's slot can use
+// it to distinguish settled entries from in-flight ones — e.g. a bounded
+// cache must not evict a flight other goroutines are still awaiting, or the
+// single-flight guarantee silently degrades to duplicate builds.
+func (f *Flight[T]) Done() bool {
+	select {
+	case <-f.ready:
+		return true
+	default:
+		return false
+	}
+}
+
 // Await implements the single-flight protocol shared by the experiment
 // Suite's cell cache and the cluster image/probe caches. get and set run
 // under mu (set(nil) evicts the slot); compute runs outside the lock. A
