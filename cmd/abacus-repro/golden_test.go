@@ -137,6 +137,46 @@ func TestGoldenJobsInvariance(t *testing.T) {
 	}
 }
 
+// TestGoldenFaults pins the fault-injection study byte for byte: the
+// committed cardloss plan run across 4 cards must print exactly the
+// committed golden at every -jobs count. Same plan + same seed →
+// byte-identical degraded output, which is the whole point of
+// deterministic fault injection.
+func TestGoldenFaults(t *testing.T) {
+	rcFor := func(jobs int) runConfig {
+		return runConfig{scale: 64, exp: "faults", jobs: jobs, devices: 4,
+			faults: filepath.Join("testdata", "cardloss.plan")}
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, rcFor(runtime.GOMAXPROCS(0))); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fault_scale64.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("faulted output drifted from %s:\n%s\nIf the change is intentional, regenerate with: go test ./cmd/abacus-repro -run TestGolden -update",
+			path, firstDiff(want, buf.Bytes()))
+	}
+	// The faulted render is -jobs invariant like everything else.
+	var seq bytes.Buffer
+	if err := run(context.Background(), &seq, rcFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), want) {
+		t.Fatalf("faulted output depends on -jobs:\n%s", firstDiff(want, seq.Bytes()))
+	}
+}
+
 // The topology sweep renders deterministically at any jobs count too; it
 // is not in the golden 'all' files (it is opt-in) but must not flap.
 func TestTopologyRenderDeterministic(t *testing.T) {

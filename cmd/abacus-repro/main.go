@@ -4,7 +4,7 @@
 // Usage:
 //
 //	abacus-repro [-scale N] [-experiment id] [-jobs N] [-devices N]
-//	             [-topology] [-image-store DIR] [-v] [-list]
+//	             [-topology] [-faults PLAN] [-image-store DIR] [-v] [-list]
 //
 // scale divides the Table 2 input sizes (1 = paper scale; the default 16
 // finishes in well under a minute). jobs bounds how many independent device
@@ -15,6 +15,9 @@
 // cluster experiment is left out of 'all' and the output matches the
 // single-device evaluation exactly. -topology opts the heterogeneous-
 // topology sweep (multi-switch hosts, per-card geometry skew) into 'all'.
+// -faults PLAN opts the fault-injection study into 'all', run under the
+// named plan — a preset (cardloss, flap, wear) or a plan-file path;
+// -experiment faults without -faults runs all three preset scenarios.
 // -image-store DIR persists device images under DIR so a later invocation
 // skips the build lifecycle (output stays byte-identical; corrupt entries
 // rebuild silently). -v prints image-cache statistics to stderr at exit.
@@ -29,6 +32,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -37,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/imagestore"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -116,6 +121,7 @@ func experimentList() []experiment {
 		{"fig16b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16b(ctx)) }},
 		{"cluster", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Cluster(ctx) }},
 		{"topology", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Topology(ctx) }},
+		{"faults", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Faults(ctx) }},
 	}
 }
 
@@ -133,6 +139,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent device simulations (1 = fully sequential)")
 	devices := flag.Int("devices", 1, "max cards in the cluster scaling experiment (1 leaves it out of 'all')")
 	topology := flag.Bool("topology", false, "include the heterogeneous-topology sweep in 'all'")
+	faultPlan := flag.String("faults", "", "fault plan (preset name or plan-file path); includes the fault-injection study in 'all'")
 	imageStore := flag.String("image-store", "", "persist device images under this directory across invocations")
 	verbose := flag.Bool("v", false, "print image-cache statistics to stderr at exit")
 	list := flag.Bool("list", false, "print the experiment ids and exit")
@@ -164,7 +171,7 @@ func main() {
 
 	err := run(ctx, os.Stdout, runConfig{
 		scale: *scale, exp: *exp, jobs: *jobs, devices: *devices, topology: *topology,
-		imageStore: *imageStore, verbose: *verbose, errw: os.Stderr,
+		faults: *faultPlan, imageStore: *imageStore, verbose: *verbose, errw: os.Stderr,
 	})
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
@@ -197,9 +204,29 @@ type runConfig struct {
 	jobs       int
 	devices    int
 	topology   bool
+	faults     string    // -faults: fault plan, preset name or file path ("" = off)
 	imageStore string    // -image-store: persistent image-store directory ("" = off)
 	verbose    bool      // -v: image-cache statistics at exit
 	errw       io.Writer // destination for -v statistics (nil discards)
+}
+
+// resolveFaultPlan turns the -faults argument into a named scenario: a
+// preset name resolves to its built-in plan, anything else is loaded as
+// a plan file and named after its basename (sans extension) so the
+// rendered rows read "cardloss" whether the plan came from the preset
+// or from testdata/cardloss.plan.
+func resolveFaultPlan(arg string) (string, *faults.Plan, error) {
+	if p, err := faults.Preset(arg); err == nil {
+		return arg, p, nil
+	}
+	p, err := faults.Load(arg)
+	if err != nil {
+		return "", nil, fmt.Errorf("-faults %s: not a preset (%s) and %w",
+			arg, strings.Join(faults.PresetNames, ", "), err)
+	}
+	name := filepath.Base(arg)
+	name = strings.TrimSuffix(name, filepath.Ext(name))
+	return name, p, nil
 }
 
 // run renders the selected experiments to w. Everything the command prints
@@ -223,14 +250,17 @@ func run(ctx context.Context, w io.Writer, rc runConfig) error {
 			return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(ids(), " "))
 		}
 	} else {
-		// The scale-out experiments are opt-in: without -devices/-topology
-		// the full run prints exactly the single-device evaluation.
+		// The scale-out experiments are opt-in: without -devices/-topology/
+		// -faults the full run prints exactly the single-device evaluation.
 		sel = nil
 		for _, e := range all {
 			if e.id == "cluster" && devices == 1 {
 				continue
 			}
 			if e.id == "topology" && !topology {
+				continue
+			}
+			if e.id == "faults" && rc.faults == "" {
 				continue
 			}
 			sel = append(sel, e)
@@ -240,6 +270,13 @@ func run(ctx context.Context, w io.Writer, rc runConfig) error {
 	s := experiments.NewSuite(scale)
 	s.Workers = jobs
 	s.MaxDevices = devices
+	if rc.faults != "" {
+		name, plan, err := resolveFaultPlan(rc.faults)
+		if err != nil {
+			return err
+		}
+		s.SetFaultScenarios([]experiments.FaultScenario{{Name: name, Plan: plan}})
+	}
 	if rc.imageStore != "" {
 		st, err := imagestore.NewFSStore(rc.imageStore, 0)
 		if err != nil {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/imagestore"
 	"repro/internal/kdt"
 	"repro/internal/stats"
@@ -239,14 +240,52 @@ func WithClusterWorkers(n int) ClusterOption {
 	return func(o *cluster.Options) { o.Workers = n }
 }
 
+// FaultPlan is a deterministic fault-injection schedule for a cluster
+// run: card deaths, switch flap/throttle windows, and flash wear, all
+// triggered by simulated event time and derived from the plan's seed.
+// The same plan and workload produce byte-identical results at any
+// wall-clock parallelism; a nil or zero plan changes nothing.
+type FaultPlan = faults.Plan
+
+// FaultRecord is the per-fault accounting a faulted run reports in
+// Result.Faults: what was injected, when the dispatcher noticed, how
+// long recovery took, and what the fault cost.
+type FaultRecord = stats.FaultRecord
+
+// ParseFaultPlan parses the textual fault-plan format (one directive
+// per line; see internal/faults for the grammar and testdata/*.plan
+// under cmd/abacus-repro for examples).
+func ParseFaultPlan(text []byte) (*FaultPlan, error) { return faults.Parse(text) }
+
+// LoadFaultPlan reads and parses a fault-plan file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return faults.Load(path) }
+
+// FaultPresetNames lists the built-in fault scenarios ("cardloss",
+// "flap", "wear") the -faults experiment sweeps.
+var FaultPresetNames = faults.PresetNames
+
+// FaultPreset returns a built-in fault plan by name.
+func FaultPreset(name string) (*FaultPlan, error) { return faults.Preset(name) }
+
+// WithFaultPlan injects the plan's faults into the cluster run. The
+// dispatcher detects card deaths after the plan's heartbeat and
+// re-dispatches lost work to survivors; switch windows stall or stretch
+// transfers; flash wear adds deterministic read-retry latency. Each
+// injected fault is accounted in Result.Faults.
+func WithFaultPlan(p *FaultPlan) ClusterOption {
+	return func(o *cluster.Options) { o.Faults = p }
+}
+
 // RunCluster shards one workload bundle across devices simulated FlashAbacus
 // cards behind a shared host PCIe switch and returns the aggregated cluster
 // measurements (summed throughput bytes, merged latencies, energy summed
 // across cards). devices <= 1 runs the plain single-device path, identical
 // to Run. Options extend the dispatch: WithTopology selects a multi-switch
 // and/or geometry-skewed card tree (per-switch utilization then appears in
-// Result.SwitchUtils). Cancelling ctx abandons every in-flight card
-// simulation and returns the context's error.
+// Result.SwitchUtils); WithFaultPlan injects deterministic card, switch,
+// and flash faults (per-fault accounting then appears in Result.Faults).
+// Cancelling ctx abandons every in-flight card simulation and returns the
+// context's error.
 func RunCluster(ctx context.Context, sys System, devices int, policy Policy, b *Bundle, opts ...ClusterOption) (*Result, error) {
 	o := cluster.Options{Policy: policy, Images: sharedImages}
 	for _, f := range opts {

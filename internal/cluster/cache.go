@@ -81,6 +81,12 @@ type ImageCache struct {
 	store   imagestore.Store
 	storeWG sync.WaitGroup
 	stStats struct{ hits, misses, puts, errors int64 }
+
+	// stFails counts consecutive store I/O failures; at storeFailLimit
+	// the store is demoted (stDown) and the cache runs cache-only — a
+	// sick store must not keep charging every miss an error round-trip.
+	stFails int
+	stDown  bool
 }
 
 // CacheStats is a point-in-time snapshot of cache behavior, per level.
@@ -91,6 +97,11 @@ type CacheStats struct {
 	ProbeHits, ProbeMisses, ProbeEvictions int64
 	StoreHits, StoreMisses                 int64 // persistent level, when attached
 	StorePuts, StoreErrors                 int64 // async fills; decode/encode/IO failures
+
+	// StoreDegraded reports the persistent level was demoted after
+	// storeFailLimit consecutive I/O failures: the cache keeps running
+	// memory-only until SetStore re-attaches a store.
+	StoreDegraded bool
 }
 
 // Stats returns current counters. Nil-safe, like every read path.
@@ -105,15 +116,20 @@ func (c *ImageCache) Stats() CacheStats {
 		ProbeHits: c.probes.hits, ProbeMisses: c.probes.misses, ProbeEvictions: c.probes.evictions,
 		StoreHits: c.stStats.hits, StoreMisses: c.stStats.misses,
 		StorePuts: c.stStats.puts, StoreErrors: c.stStats.errors,
+		StoreDegraded: c.stDown,
 	}
 }
 
 // SetStore attaches (or, with nil, detaches) the persistent second level.
-// Call it before handing the cache out; it does not retro-fill.
+// Call it before handing the cache out; it does not retro-fill. Attaching
+// clears a previous degradation, so a fresh (or repaired) store starts
+// with a clean failure budget.
 func (c *ImageCache) SetStore(st imagestore.Store) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.store = st
+	c.stFails = 0
+	c.stDown = false
 }
 
 // FlushStore blocks until every asynchronous store fill issued so far has
@@ -264,9 +280,7 @@ func (s imageStage) stageName() string {
 // lifecycle produced. It runs inside the key's single flight, so at most
 // one goroutine per key is in here.
 func (c *ImageCache) loadOrBuild(ctx context.Context, key imageKey, cfg core.Config, b *workload.Bundle, stage imageStage) (*core.Image, error) {
-	c.mu.Lock()
-	st := c.store
-	c.mu.Unlock()
+	st := c.activeStore()
 	if st == nil {
 		return buildImage(ctx, c, cfg, b, stage)
 	}
@@ -274,38 +288,80 @@ func (c *ImageCache) loadOrBuild(ctx context.Context, key imageKey, cfg core.Con
 	if blob, err := st.Get(fp); err == nil {
 		img, derr := imagestore.Decode(cfg, blob)
 		if derr == nil {
+			c.storeOK()
 			c.countStore(func(s *storeCounters) { s.hits++ })
 			return img, nil
 		}
 		// Corrupt, truncated, or stale-version blob: a fresh build both
-		// recovers and overwrites the bad entry.
+		// recovers and overwrites the bad entry. Bad bytes, not a sick
+		// store, so this does not charge the degradation budget.
 		c.countStore(func(s *storeCounters) { s.errors++ })
 	} else if errors.Is(err, imagestore.ErrNotFound) {
+		c.storeOK()
 		c.countStore(func(s *storeCounters) { s.misses++ })
 	} else {
-		c.countStore(func(s *storeCounters) { s.errors++ })
+		c.storeFailure()
 	}
 	img, err := buildImage(ctx, c, cfg, b, stage)
 	if err != nil {
 		return nil, err
 	}
 	// Fill asynchronously: encode+write costs the next process a rebuild if
-	// skipped, but costs this requester latency if awaited.
+	// skipped, but costs this requester latency if awaited. The goroutine
+	// holds no context — a cancelled run's fills still land (the work is
+	// bounded), and FlushStore drains them before the process exits.
 	c.storeWG.Add(1)
 	go func() {
 		defer c.storeWG.Done()
 		blob, err := imagestore.Encode(img)
-		if err == nil {
-			err = st.Put(fp, blob)
-		}
 		if err != nil {
 			c.countStore(func(s *storeCounters) { s.errors++ })
 			return
 		}
+		if err := st.Put(fp, blob); err != nil {
+			c.storeFailure()
+			return
+		}
+		c.storeOK()
 		c.countStore(func(s *storeCounters) { s.puts++ })
 	}()
 	return img, nil
 }
+
+// activeStore returns the attached store, or nil when none is attached
+// or the store has been demoted to cache-only.
+func (c *ImageCache) activeStore() imagestore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stDown {
+		return nil
+	}
+	return c.store
+}
+
+// storeFailure charges one store I/O failure against the degradation
+// budget; the storeFailLimit'th consecutive failure demotes the store.
+func (c *ImageCache) storeFailure() {
+	c.mu.Lock()
+	c.stStats.errors++
+	c.stFails++
+	if c.stFails >= storeFailLimit {
+		c.stDown = true
+	}
+	c.mu.Unlock()
+}
+
+// storeOK resets the consecutive-failure budget after any successful
+// store round-trip (hit, clean miss, or landed fill).
+func (c *ImageCache) storeOK() {
+	c.mu.Lock()
+	c.stFails = 0
+	c.mu.Unlock()
+}
+
+// storeFailLimit is the consecutive store I/O failures tolerated before
+// the persistent level is demoted and the cache degrades to memory-only.
+const storeFailLimit = 3
 
 // storeCounters aliases the anonymous counter struct for countStore.
 type storeCounters = struct{ hits, misses, puts, errors int64 }

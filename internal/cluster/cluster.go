@@ -50,6 +50,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/flash"
 	"repro/internal/kdt"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -134,6 +136,12 @@ type Options struct {
 	// output is byte-identical either way — the cache only removes
 	// rebuild work, never changes simulated state.
 	Images *ImageCache
+	// Faults, when non-nil and non-zero, injects the plan's deterministic
+	// failure schedule into the run: card deaths reroute work per the
+	// policy's recovery rules, switch windows degrade the dispatch
+	// fabric, and flash wear stretches reads. A nil or zero plan leaves
+	// the run byte-identical to a healthy one.
+	Faults *faults.Plan
 }
 
 // RunSingle runs one bundle on one card: the node lifecycle experiments.
@@ -148,6 +156,13 @@ func RunSingle(ctx context.Context, cfg core.Config, b *workload.Bundle) (*stats
 // populate proves unforkable runs the lifecycle from scratch; either way
 // the result is byte-identical.
 func RunSingleCached(ctx context.Context, cfg core.Config, b *workload.Bundle, images *ImageCache) (*stats.Result, error) {
+	return runSingleCached(ctx, cfg, b, images, nil)
+}
+
+// runSingleCached is RunSingleCached with an optional flash wear model
+// installed before the run (images stay shared — wear only stretches
+// simulated read timing, never image contents).
+func runSingleCached(ctx context.Context, cfg core.Config, b *workload.Bundle, images *ImageCache, ret flash.ReadRetrier) (*stats.Result, error) {
 	var n *Node
 	if images != nil && bundleID(b) != "" {
 		img, err := images.Offloaded(ctx, cfg, b)
@@ -174,6 +189,9 @@ func RunSingleCached(ctx context.Context, cfg core.Config, b *workload.Bundle, i
 			return nil, fmt.Errorf("%s/%s: offload: %w", b.Name, cfg.System, err)
 		}
 	}
+	if ret != nil {
+		n.Device().InstallFlashRetrier(ret)
+	}
 	res, err := n.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", b.Name, cfg.System, err)
@@ -193,6 +211,10 @@ func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	plan := o.Faults
+	if plan.IsZero() {
+		plan = nil // a zero plan is exactly a healthy run
+	}
 	topo := o.Topology
 	if topo.IsZero() {
 		devices := cfg.Devices
@@ -200,7 +222,14 @@ func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*
 			devices = 1
 		}
 		if devices == 1 {
-			return RunSingleCached(ctx, cfg, b, o.Images)
+			if plan != nil && len(plan.Events) > 0 {
+				return nil, fmt.Errorf("cluster: fault plan schedules card/switch events but the run has a single card")
+			}
+			res, err := runSingleCached(ctx, cfg, b, o.Images, wearFor(plan, cfg))
+			if err != nil {
+				return nil, err
+			}
+			return withWearRecord(res, plan), nil
 		}
 		topo = Uniform(devices)
 	} else if err := topo.Validate(cfg); err != nil {
@@ -219,20 +248,30 @@ func Run(ctx context.Context, cfg core.Config, b *workload.Bundle, o Options) (*
 	if err != nil {
 		return nil, err
 	}
-	fab := newFabric(topo, o.Host, !o.Topology.IsZero())
+	if plan != nil {
+		names := make([]string, len(topo.Switches))
+		for i := range topo.Switches {
+			names[i] = topo.switchName(i)
+		}
+		if err := plan.ValidateFor(len(cards), names); err != nil {
+			return nil, err
+		}
+	}
+	fab := newFabric(topo, o.Host, !o.Topology.IsZero(), plan)
 	var parts []stats.Part
 	switch o.Policy {
 	case RoundRobin:
-		parts, err = runRoundRobin(ctx, b, cards, fab, o)
+		parts, err = runRoundRobin(ctx, b, cards, fab, o, plan)
 	case WorkSteal:
-		parts, err = runWorkSteal(ctx, b, cards, classCfgs, fab, o)
+		parts, err = runWorkSteal(ctx, b, cards, classCfgs, fab, o, plan)
 	default:
 		return nil, fmt.Errorf("cluster: unknown policy %d", int(o.Policy))
 	}
 	if err != nil {
 		return nil, err
 	}
-	return stats.Aggregate(cfg.System.String(), b.Name, len(cards), parts), nil
+	res := stats.Aggregate(cfg.System.String(), b.Name, len(cards), parts)
+	return finishFaulted(res, plan), nil
 }
 
 // fabric is the host-side dispatch path of one run: the root uplink (only
@@ -244,13 +283,24 @@ type fabric struct {
 	root   *sim.Pipe   // nil in implicit single-switch mode
 	sws    []*sim.Pipe // per switch, topology order
 	labels []string    // per-switch stats label ("" in implicit mode)
+	// wins holds each switch's fault-plan degradation windows, sorted by
+	// start (nil on healthy runs). Fault targeting always uses the
+	// switch's topology name — "sw0" in implicit mode — even where the
+	// stats label is "".
+	wins [][]faults.Window
 }
 
 // newFabric builds the dispatch pipes. host models the root uplink (or, in
 // implicit mode, the whole path); each switch's zero BW defaults to the
 // host's.
-func newFabric(t Topology, host HostConfig, explicit bool) *fabric {
+func newFabric(t Topology, host HostConfig, explicit bool, plan *faults.Plan) *fabric {
 	f := &fabric{}
+	if plan != nil {
+		f.wins = make([][]faults.Window, len(t.Switches))
+		for i := range t.Switches {
+			f.wins[i] = plan.SwitchWindows(t.switchName(i))
+		}
+	}
 	if explicit {
 		f.root = sim.NewPipe("host-uplink", host.BW)
 		f.root.Latency = host.DispatchLatency
@@ -274,6 +324,25 @@ func newFabric(t Topology, host HostConfig, explicit bool) *fabric {
 	return f
 }
 
+// degrade applies switch sw's fault windows to a dispatch requested at
+// time at: a flap window stalls the request to the window's end
+// (cascading through later windows), a throttle window inflates the
+// transfer's effective size by 100/factor. Both adjustments are
+// monotone in at, so FIFO request order through the pipe is preserved.
+func (f *fabric) degrade(at units.Duration, sw int, bytes int64) (units.Duration, int64) {
+	for _, w := range f.wins[sw] {
+		if at < w.From || at >= w.Until {
+			continue
+		}
+		if w.FactorPct == 0 {
+			at = w.Until // link down: dispatch waits out the flap
+		} else {
+			bytes = (bytes*100 + int64(w.FactorPct) - 1) / int64(w.FactorPct)
+		}
+	}
+	return at, bytes
+}
+
 // dispatch books one kernel download to a card behind switch sw, requested
 // at time at, and returns its arrival: through the root uplink first (when
 // present), then the owning switch. Both pipes are FIFO, so callers must
@@ -283,6 +352,9 @@ func newFabric(t Topology, host HostConfig, explicit bool) *fabric {
 func (f *fabric) dispatch(at units.Duration, sw int, bytes int64) units.Duration {
 	if f.root != nil {
 		_, at = f.root.Transfer(at, bytes)
+	}
+	if f.wins != nil {
+		at, bytes = f.degrade(at, sw, bytes)
 	}
 	_, end := f.sws[sw].Transfer(at, bytes)
 	return end
@@ -331,7 +403,7 @@ func offloadBytes(apps []workload.App) int64 {
 // cards (capability-weighted, so a homogeneous topology is exactly the
 // classic i mod N), every card runs its subset as one device simulation,
 // and each card's run begins when its downloads clear the dispatch fabric.
-func runRoundRobin(ctx context.Context, b *workload.Bundle, cards []card, fab *fabric, o Options) ([]stats.Part, error) {
+func runRoundRobin(ctx context.Context, b *workload.Bundle, cards []card, fab *fabric, o Options, plan *faults.Plan) ([]stats.Part, error) {
 	assigned := assignApps(cards, len(b.Apps))
 	shards := make([][]workload.App, len(cards))
 	for c, idxs := range assigned {
@@ -355,7 +427,7 @@ func runRoundRobin(ctx context.Context, b *workload.Bundle, cards []card, fab *f
 			if len(shards[c]) == 0 {
 				return nil, nil // more cards than applications: card stays idle
 			}
-			res, err := runShard(ctx, c, cards[c].cfg, b, shards[c], o.Images)
+			res, err := runShard(ctx, c, cards[c].cfg, b, shards[c], o.Images, wearFor(plan, cards[c].cfg))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cards[c].cfg.System, c, err)
 			}
@@ -364,21 +436,31 @@ func runRoundRobin(ctx context.Context, b *workload.Bundle, cards []card, fab *f
 	if err != nil {
 		return nil, err
 	}
-	return collectParts(results, offsets, cards, fab), nil
+	if deaths := plan.DeathTimes(len(cards)); deaths != nil {
+		return recoverRoundRobin(ctx, b, cards, fab, o, plan, deaths, assigned, offsets, results)
+	}
+	return collectParts(results, offsets, cards, fab, nil), nil
 }
 
 // collectParts labels per-card results with their owning switch. Idle
 // cards (nil results) are dropped on the classic unlabeled path, but kept
 // as empty labeled parts under an explicit topology so per-switch card
 // counts — and hence per-switch utilization denominators — stay honest.
-func collectParts(results []*stats.Result, offsets []units.Duration, cards []card, fab *fabric) []stats.Part {
+// faultsBy, when non-nil, attaches each card's fault records to its part;
+// a dead card whose whole result was lost still surfaces its record
+// through an otherwise-empty part.
+func collectParts(results []*stats.Result, offsets []units.Duration, cards []card, fab *fabric, faultsBy [][]stats.FaultRecord) []stats.Part {
 	var parts []stats.Part
 	for c, res := range results {
 		label := fab.label(cards[c].sw)
+		var fr []stats.FaultRecord
+		if faultsBy != nil {
+			fr = faultsBy[c]
+		}
 		if res != nil {
-			parts = append(parts, stats.Part{Res: res, Offset: offsets[c], Switch: label})
-		} else if label != "" {
-			parts = append(parts, stats.Part{Switch: label})
+			parts = append(parts, stats.Part{Res: res, Offset: offsets[c], Switch: label, Faults: fr})
+		} else if label != "" || len(fr) > 0 {
+			parts = append(parts, stats.Part{Switch: label, Faults: fr})
 		}
 	}
 	return parts
@@ -403,7 +485,7 @@ func collectParts(results []*stats.Result, offsets []units.Duration, cards []car
 // ordinary self-governed device simulations, so a card's internal governor
 // still overlaps its instances. Both phases are deterministic regardless
 // of wall-clock worker count.
-func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCfgs []core.Config, fab *fabric, o Options) ([]stats.Part, error) {
+func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCfgs []core.Config, fab *fabric, o Options, plan *faults.Plan) ([]stats.Part, error) {
 	var instances []workload.App
 	for _, app := range b.Apps {
 		for k, t := range app.Tables {
@@ -415,14 +497,23 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 	}
 
 	// probes[cls*len(instances)+i] estimates instance i on card class cls.
+	// With wear active the probe memo is bypassed: its key does not carry
+	// the plan, and the estimates must be wear-aware so the claim loop
+	// schedules against the latencies the cards will actually see.
 	n := len(instances)
 	probes, err := runner.Collect(ctx, runner.New(o.Workers), len(classCfgs)*n,
 		func(ctx context.Context, flat int) (*stats.Result, error) {
 			cls, i := flat/n, flat%n
-			res, err := o.Images.Probe(ctx, classCfgs[cls], b, instances[i].Name,
-				func(ctx context.Context) (*stats.Result, error) {
-					return runShard(ctx, i, classCfgs[cls], b, instances[i:i+1], o.Images)
-				})
+			probe := func(ctx context.Context) (*stats.Result, error) {
+				return runShard(ctx, i, classCfgs[cls], b, instances[i:i+1], o.Images, wearFor(plan, classCfgs[cls]))
+			}
+			var res *stats.Result
+			var err error
+			if plan.WearActive() {
+				res, err = probe(ctx)
+			} else {
+				res, err = o.Images.Probe(ctx, classCfgs[cls], b, instances[i].Name, probe)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: probe %s (class %d): %w",
 					b.Name, classCfgs[cls].System, instances[i].Name, cls, err)
@@ -436,21 +527,30 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 	free := make([]units.Duration, len(cards))
 	claims := make([][]workload.App, len(cards))
 	starts := make([]units.Duration, len(cards))
-	for i, inst := range instances {
-		best := 0
-		for c := 1; c < len(cards); c++ {
-			if free[c] < free[best] {
-				best = c
+	var faultsBy [][]stats.FaultRecord
+	if deaths := plan.DeathTimes(len(cards)); deaths != nil {
+		var err error
+		faultsBy, err = claimWithDeaths(b, cards, fab, plan, deaths, instances, probes, free, claims, starts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i, inst := range instances {
+			best := 0
+			for c := 1; c < len(cards); c++ {
+				if free[c] < free[best] {
+					best = c
+				}
 			}
+			// The claim order visits non-decreasing free instants, so the
+			// fabric's pipes see FIFO request times as their model requires.
+			arrive := fab.dispatch(free[best], cards[best].sw, offloadBytes(instances[i:i+1]))
+			if len(claims[best]) == 0 {
+				starts[best] = arrive
+			}
+			claims[best] = append(claims[best], inst)
+			free[best] = arrive + probes[cards[best].class*n+i].Makespan
 		}
-		// The claim order visits non-decreasing free instants, so the
-		// fabric's pipes see FIFO request times as their model requires.
-		arrive := fab.dispatch(free[best], cards[best].sw, offloadBytes(instances[i:i+1]))
-		if len(claims[best]) == 0 {
-			starts[best] = arrive
-		}
-		claims[best] = append(claims[best], inst)
-		free[best] = arrive + probes[cards[best].class*n+i].Makespan
 	}
 
 	results, err := runner.Collect(ctx, runner.New(o.Workers), len(cards),
@@ -458,7 +558,7 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 			if len(claims[c]) == 0 {
 				return nil, nil // more cards than instances: card stays idle
 			}
-			res, err := runShard(ctx, c, cards[c].cfg, b, claims[c], o.Images)
+			res, err := runShard(ctx, c, cards[c].cfg, b, claims[c], o.Images, wearFor(plan, cards[c].cfg))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: card %d: %w", b.Name, cards[c].cfg.System, c, err)
 			}
@@ -469,14 +569,14 @@ func runWorkSteal(ctx context.Context, b *workload.Bundle, cards []card, classCf
 	}
 	// A card starts when its first claim lands; later claims'
 	// microsecond-scale downloads overlap its execution.
-	return collectParts(results, starts, cards, fab), nil
+	return collectParts(results, starts, cards, fab, faultsBy), nil
 }
 
 // runShard walks one card through the node lifecycle for a subset of the
 // bundle's applications. The full input set is replicated to each card —
 // with an image cache by forking the card class's populated image
 // copy-on-write, without one by populating from scratch.
-func runShard(ctx context.Context, id int, cfg core.Config, b *workload.Bundle, apps []workload.App, images *ImageCache) (*stats.Result, error) {
+func runShard(ctx context.Context, id int, cfg core.Config, b *workload.Bundle, apps []workload.App, images *ImageCache, ret flash.ReadRetrier) (*stats.Result, error) {
 	var n *Node
 	if images != nil && bundleID(b) != "" {
 		img, err := images.Populated(ctx, cfg, b)
@@ -502,6 +602,9 @@ func runShard(ctx context.Context, id int, cfg core.Config, b *workload.Bundle, 
 	}
 	if err := n.Offload(apps); err != nil {
 		return nil, fmt.Errorf("offload: %w", err)
+	}
+	if ret != nil {
+		n.Device().InstallFlashRetrier(ret)
 	}
 	return n.Run(ctx)
 }

@@ -1,0 +1,177 @@
+package cluster_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Every preset fault plan must be deterministic: the same plan and seed
+// produce a deeply-equal result at any wall-clock parallelism, for both
+// dispatch policies.
+func TestFaultPlanDeterminism(t *testing.T) {
+	for _, name := range faults.PresetNames {
+		plan, err := faults.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range cluster.Policies {
+			var runs []interface{}
+			for _, workers := range []int{1, runtime.GOMAXPROCS(0), 1} {
+				cfg := core.DefaultConfig(core.IntraO3)
+				cfg.Devices = 4
+				r, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+					cluster.Options{Policy: p, Workers: workers, Faults: plan})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, p, err)
+				}
+				runs = append(runs, r)
+			}
+			if !reflect.DeepEqual(runs[0], runs[1]) || !reflect.DeepEqual(runs[0], runs[2]) {
+				t.Errorf("%s/%s: faulted result depends on workers or repetition", name, p)
+			}
+		}
+	}
+}
+
+// An empty fault plan must leave every result byte-identical to a run
+// with no plan at all — the healthy path is the zero-plan path.
+func TestEmptyFaultPlanIdentity(t *testing.T) {
+	for _, p := range cluster.Policies {
+		cfg := core.DefaultConfig(core.IntraO3)
+		cfg.Devices = 4
+		healthy, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+			cluster.Options{Policy: p, Faults: &faults.Plan{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(healthy, empty) {
+			t.Errorf("%s: empty fault plan changed the result", p)
+		}
+	}
+}
+
+// A card death must lose no work: every kernel instance the dead card had
+// claimed is re-dispatched to a survivor and completes exactly once, so
+// the faulted run conserves bytes and kernel completions against the
+// healthy run while its accounting names the death.
+func TestCardDeathCompletesEveryInstanceOnce(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 3
+	for _, p := range cluster.Policies {
+		healthy, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1ms is after every card's dispatch lands (microseconds) and long
+		// before any shard or claim completes (tens of milliseconds at this
+		// scale), so the death always interrupts in-flight work.
+		deathAt := units.Millisecond
+		if healthy.Makespan <= 2*deathAt {
+			t.Fatalf("%s: healthy makespan %s too short for a mid-run death",
+				p, units.FormatDuration(healthy.Makespan))
+		}
+		plan := &faults.Plan{
+			Seed:   1,
+			Detect: 20 * units.Microsecond,
+			Events: []faults.Event{
+				{Kind: faults.CardDeath, Card: 1, At: deathAt},
+			},
+		}
+		r, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+			cluster.Options{Policy: p, Faults: plan})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		// Exactly once: fewer completions would mean lost work, more would
+		// mean a doomed claim also completed on the dead card.
+		if r.Bytes != healthy.Bytes {
+			t.Errorf("%s: faulted run processed %d bytes, healthy %d", p, r.Bytes, healthy.Bytes)
+		}
+		if len(r.KernelLatencies) != len(healthy.KernelLatencies) {
+			t.Errorf("%s: %d kernels completed, want %d",
+				p, len(r.KernelLatencies), len(healthy.KernelLatencies))
+		}
+		var death *stats.FaultRecord
+		for i := range r.Faults {
+			if r.Faults[i].Kind == "card-death" {
+				death = &r.Faults[i]
+			}
+		}
+		if death == nil {
+			t.Fatalf("%s: no card-death record in %+v", p, r.Faults)
+		}
+		if death.Target != "card1" || death.At != deathAt {
+			t.Errorf("%s: death record %+v, want card1 at %s", p, death, units.FormatDuration(deathAt))
+		}
+		if death.Detect != 20*units.Microsecond {
+			t.Errorf("%s: detect %s, want 20us", p, units.FormatDuration(death.Detect))
+		}
+		if death.Redone == 0 || death.Recovery <= 0 {
+			t.Errorf("%s: death mid-run redid %d items with recovery %s, want both nonzero",
+				p, death.Redone, units.FormatDuration(death.Recovery))
+		}
+		// The healthy run reports no fault accounting at all.
+		if len(healthy.Faults) != 0 || healthy.FlashRetries != 0 {
+			t.Errorf("%s: healthy run carries fault accounting: %+v", p, healthy.Faults)
+		}
+	}
+}
+
+// Flash wear is pure latency: the wear preset must conserve work, slow
+// the run down (or at worst leave it equal), and report its injected
+// retries symmetrically in FlashRetries and the flash-wear record.
+func TestWearConservesWorkAndAccounts(t *testing.T) {
+	cfg := core.DefaultConfig(core.IntraO3)
+	cfg.Devices = 2
+	plan, err := faults.Preset("wear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cluster.Policies {
+		healthy, err := cluster.Run(context.Background(), cfg, bundle(t, 256), cluster.Options{Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worn, err := cluster.Run(context.Background(), cfg, bundle(t, 256),
+			cluster.Options{Policy: p, Faults: &faults.Plan{Seed: plan.Seed, Wear: plan.Wear}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worn.Bytes != healthy.Bytes || len(worn.KernelLatencies) != len(healthy.KernelLatencies) {
+			t.Errorf("%s: wear lost work: %d bytes / %d kernels vs %d / %d",
+				p, worn.Bytes, len(worn.KernelLatencies), healthy.Bytes, len(healthy.KernelLatencies))
+		}
+		if worn.Makespan < healthy.Makespan {
+			t.Errorf("%s: wear sped the run up: %s < %s",
+				p, units.FormatDuration(worn.Makespan), units.FormatDuration(healthy.Makespan))
+		}
+		if worn.FlashRetries == 0 {
+			t.Errorf("%s: wear preset injected no retries", p)
+		}
+		var wear *stats.FaultRecord
+		for i := range worn.Faults {
+			if worn.Faults[i].Kind == "flash-wear" {
+				wear = &worn.Faults[i]
+			}
+		}
+		if wear == nil {
+			t.Fatalf("%s: no flash-wear record in %+v", p, worn.Faults)
+		}
+		if int64(wear.Redone) != worn.FlashRetries || wear.Lost != worn.RetryTime {
+			t.Errorf("%s: wear record %+v disagrees with retries %d / %s",
+				p, wear, worn.FlashRetries, units.FormatDuration(worn.RetryTime))
+		}
+	}
+}

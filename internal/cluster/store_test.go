@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/imagestore"
@@ -198,4 +200,136 @@ func TestCacheStatsCounters(t *testing.T) {
 		t.Fatal("nil cache stats not zero")
 	}
 	nilCache.FlushStore() // must not panic
+}
+
+// brokenStore fails every round-trip with a transport error (not
+// ErrNotFound), simulating a store whose backing device has gone away.
+// It counts calls so degradation is observable as silence.
+type brokenStore struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *brokenStore) bump() error {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return errors.New("backing device gone")
+}
+
+func (s *brokenStore) Get(key string) ([]byte, error)    { return nil, s.bump() }
+func (s *brokenStore) Put(key string, blob []byte) error { return s.bump() }
+
+func (s *brokenStore) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// TestStoreDegradesToCacheOnly: a store failing every I/O must be demoted
+// after storeFailLimit consecutive failures — later requests run
+// memory-only (no store calls at all) and still succeed.
+func TestStoreDegradesToCacheOnly(t *testing.T) {
+	ctx := context.Background()
+	cfg := core.DefaultConfig(core.IntraO3)
+	st := &brokenStore{}
+	c := NewImageCache()
+	c.SetStore(st)
+
+	// Distinct keys, so each miss is a fresh store round-trip. Every Get
+	// fails and every async fill's Put fails, so the failure budget drains
+	// within the first few requests.
+	for i := 0; i < storeFailLimit+2; i++ {
+		if _, err := c.Populated(ctx, cfg, testBundle(t, int64(4096<<i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FlushStore()
+	s := c.Stats()
+	if !s.StoreDegraded {
+		t.Fatalf("store not degraded after %d failing requests: %+v", storeFailLimit+2, s)
+	}
+	if s.StoreErrors < storeFailLimit {
+		t.Fatalf("StoreErrors = %d, want >= %d", s.StoreErrors, storeFailLimit)
+	}
+
+	// Once demoted, the store must not be consulted again.
+	before := st.count()
+	if _, err := c.Populated(ctx, cfg, testBundle(t, 4096<<6)); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushStore()
+	if after := st.count(); after != before {
+		t.Fatalf("degraded cache still called the store: %d -> %d calls", before, after)
+	}
+
+	// Re-attaching a (repaired) store clears the demotion.
+	c.SetStore(imagestore.NewMemStore())
+	if s := c.Stats(); s.StoreDegraded {
+		t.Fatal("SetStore did not clear the degradation")
+	}
+	if _, err := c.Populated(ctx, cfg, testBundle(t, 4096<<7)); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushStore()
+	if s := c.Stats(); s.StorePuts == 0 {
+		t.Fatalf("repaired store received no fills: %+v", s)
+	}
+}
+
+// blockingStore parks every Put until released, simulating slow store
+// I/O still in flight when a run is cancelled.
+type blockingStore struct {
+	inner   imagestore.Store
+	started chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingStore) Get(key string) ([]byte, error) { return s.inner.Get(key) }
+
+func (s *blockingStore) Put(key string, blob []byte) error {
+	s.started <- struct{}{}
+	<-s.release
+	return s.inner.Put(key, blob)
+}
+
+// TestFlushStoreDrainsCancelledRun: cancelling the run's context must not
+// abandon in-flight async store fills — FlushStore still blocks until
+// every fill lands, and the fills are accounted, so no goroutine outlives
+// the flush and no image is silently dropped on the floor.
+func TestFlushStoreDrainsCancelledRun(t *testing.T) {
+	mem := imagestore.NewMemStore()
+	st := &blockingStore{inner: mem, started: make(chan struct{}, 4), release: make(chan struct{})}
+	c := NewImageCache()
+	c.SetStore(st)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	b := testBundle(t, 4096)
+	cfg := core.DefaultConfig(core.IntraO3)
+	if _, err := c.Populated(ctx, cfg, b); err != nil {
+		t.Fatal(err)
+	}
+	<-st.started // the async fill is in flight
+	cancel()     // the run is over; the fill must not be orphaned
+
+	flushed := make(chan struct{})
+	go func() {
+		c.FlushStore()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("FlushStore returned while a fill was still blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(st.release)
+	select {
+	case <-flushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("FlushStore did not drain the cancelled run's fill")
+	}
+	if s := c.Stats(); s.StorePuts != 1 || mem.Len() != 1 {
+		t.Fatalf("fill did not land: %+v, store holds %d blobs", s, mem.Len())
+	}
 }

@@ -91,7 +91,7 @@ func TestFabricCongestionIsPerSwitch(t *testing.T) {
 		{Name: "fast", BW: 8 * units.GBps},
 		{Name: "slow", BW: 1 * units.MBps},
 	}}
-	f := newFabric(topo, DefaultHost(), true)
+	f := newFabric(topo, DefaultHost(), true, nil)
 	const nb = 1 * units.MB
 	slow1 := f.dispatch(0, 1, nb)
 	slow2 := f.dispatch(slow1/2, 1, nb) // queues behind slow1 on "slow"

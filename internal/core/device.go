@@ -202,6 +202,14 @@ func (d *Device) Visor() *flashvisor.Visor { return d.visor }
 // Host exposes the baseline host model for verification and tooling.
 func (d *Device) Host() *host.Host { return d.hostm }
 
+// InstallFlashRetrier installs a deterministic wear model on the flash
+// backbone: every page-group read pays the model's extra sensing
+// cycles, surfacing as latency in the storengine path. Install before
+// Run; pass nil to remove.
+func (d *Device) InstallFlashRetrier(r flash.ReadRetrier) {
+	d.visor.Controller().BB.SetRetrier(r)
+}
+
 // PopulateInput installs input data at a logical byte address on whichever
 // store the system reads from (flash backbone or external SSD), untimed.
 func (d *Device) PopulateInput(addr, bytes int64, data []byte) error {
@@ -562,6 +570,7 @@ func (d *Device) collect() *stats.Result {
 		}
 	}
 	r.Visor = d.visor.Stats()
+	r.FlashRetries, r.RetryTime = d.visor.Controller().BB.RetryStats()
 	r.BGReclaims = d.storeng.Stats().BGReclaims
 	r.Journals = d.storeng.Stats().Journals
 	r.LockConflicts = d.visor.Lock.Conflicts()

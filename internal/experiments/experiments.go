@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/imagestore"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -52,6 +53,10 @@ const (
 	// cell of the heterogeneous-topology sweep: the bundle dispatched over
 	// a multi-switch and/or geometry-skewed card tree.
 	KindTopology
+	// KindFault is one (fault scenario, policy) cell of the fault-injection
+	// study: the bundle dispatched across a cluster while a deterministic
+	// fault plan kills cards, degrades switches, or wears the flash.
+	KindFault
 )
 
 // Job names one cached device simulation: a workload cell (application,
@@ -69,9 +74,10 @@ type Job struct {
 	Cores int // worker count (KindSensitivity)
 	Pct   int // serial instruction percentage (KindSensitivity)
 
-	Devices int            // card count (KindCluster, KindTopology)
-	Policy  cluster.Policy // dispatch policy (KindCluster, KindTopology)
+	Devices int            // card count (KindCluster, KindTopology, KindFault)
+	Policy  cluster.Policy // dispatch policy (KindCluster, KindTopology, KindFault)
 	Topo    string         // topology preset name (KindTopology)
+	Fault   string         // fault scenario name (KindFault)
 }
 
 func (j Job) String() string {
@@ -86,6 +92,8 @@ func (j Job) String() string {
 		return fmt.Sprintf("cluster-%s@%dx%s/%s", j.workloadName(), j.Devices, j.Policy, j.Sys)
 	case KindTopology:
 		return fmt.Sprintf("topo-%s-%s@%dx%s/%s", j.Topo, j.workloadName(), j.Devices, j.Policy, j.Sys)
+	case KindFault:
+		return fmt.Sprintf("fault-%s-%s@%dx%s/%s", j.Fault, j.workloadName(), j.Devices, j.Policy, j.Sys)
 	default:
 		return fmt.Sprintf("%s/%s", j.Name, j.Sys)
 	}
@@ -107,7 +115,7 @@ func (j Job) bundle(o workload.Options) (*workload.Bundle, error) {
 		return workload.Homogeneous(j.Name, o)
 	case KindHeterogeneous, KindSeries:
 		return workload.Mix(j.Mix, o)
-	case KindCluster, KindTopology:
+	case KindCluster, KindTopology, KindFault:
 		if j.Name != "" {
 			return workload.Homogeneous(j.Name, o)
 		}
@@ -145,6 +153,11 @@ type Suite struct {
 	fig3  *flight[[]Fig3Point]
 	fig15 *flight[map[string]*stats.Result]
 
+	// faults are the fault-injection scenarios the "faults" experiment
+	// runs, by name. Nil means DefaultFaultScenarios; SetFaultScenarios
+	// replaces them (abacus-repro does when -faults names a plan file).
+	faults []FaultScenario
+
 	// images shares formatted/populated/offloaded device snapshots and
 	// work-steal probe runs across every cell of the suite: cells fork a
 	// copy-on-write image of their (configuration class, bundle) instead
@@ -178,6 +191,36 @@ func (s *Suite) ImageStats() cluster.CacheStats { return s.images.Stats() }
 // FlushImages blocks until every asynchronous image-store fill has landed,
 // the boundary after which the store is warm for the next process.
 func (s *Suite) FlushImages() { s.images.FlushStore() }
+
+// SetFaultScenarios replaces the suite's fault-injection scenarios (nil
+// restores DefaultFaultScenarios). Call it before the first Run or
+// Prewarm: the scenario name is part of the cache key, so swapping a
+// name's plan afterwards would alias stale cells.
+func (s *Suite) SetFaultScenarios(scs []FaultScenario) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = scs
+}
+
+// faultScenarios returns the active scenario list.
+func (s *Suite) faultScenarios() []FaultScenario {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.faults != nil {
+		return s.faults
+	}
+	return DefaultFaultScenarios()
+}
+
+// faultPlan resolves a scenario name to its plan.
+func (s *Suite) faultPlan(name string) (*faults.Plan, error) {
+	for _, sc := range s.faultScenarios() {
+		if sc.Name == name {
+			return sc.Plan, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown fault scenario %q", name)
+}
 
 func (s *Suite) opts() workload.Options {
 	o := workload.DefaultOptions()
@@ -303,6 +346,15 @@ func (s *Suite) simulate(ctx context.Context, j Job) (*stats.Result, error) {
 		// Workers: 1 for the same reason as the KindCluster case above.
 		cfg := core.DefaultConfig(j.Sys)
 		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Topology: topo, Images: s.images})
+	case KindFault:
+		plan, err := s.faultPlan(j.Fault)
+		if err != nil {
+			return nil, err
+		}
+		// Workers: 1 for the same reason as the KindCluster case above.
+		cfg := core.DefaultConfig(j.Sys)
+		cfg.Devices = j.Devices
+		return cluster.Run(ctx, cfg, b, cluster.Options{Policy: j.Policy, Workers: 1, Images: s.images, Faults: plan})
 	default:
 		return RunBundleCached(ctx, j.Sys, b, false, s.images)
 	}
@@ -343,7 +395,7 @@ func (s *Suite) Bigdata(ctx context.Context, name string, sys core.System) (*sta
 var CachedExperimentIDs = []string{
 	"fig3b", "fig3c", "fig3d", "fig3e", "fig10a", "fig10b", "fig11a", "fig11b",
 	"fig12", "fig13a", "fig13b", "fig14a", "fig14b", "fig15", "fig16a", "fig16b",
-	"cluster", "topology",
+	"cluster", "topology", "faults",
 }
 
 // Cluster scaling study shape: representative workloads (a data-intensive
@@ -417,6 +469,67 @@ func topologyCells() []Job {
 					Topo: preset, Devices: n, Policy: p,
 				})
 			}
+		}
+	}
+	return out
+}
+
+// FaultScenario names one deterministic fault plan the fault-injection
+// study dispatches a cluster run under. The name is the cache key and
+// the table row label.
+type FaultScenario struct {
+	Name string
+	Plan *faults.Plan
+}
+
+// DefaultFaultScenarios returns the built-in study: one scenario per
+// faults preset (card death, switch flap+throttle, flash wear).
+func DefaultFaultScenarios() []FaultScenario {
+	out := make([]FaultScenario, 0, len(faults.PresetNames))
+	for _, name := range faults.PresetNames {
+		p, err := faults.Preset(name)
+		if err != nil { // unreachable: PresetNames enumerates Preset
+			panic(err)
+		}
+		out = append(out, FaultScenario{Name: name, Plan: p})
+	}
+	return out
+}
+
+// Fault-injection study shape: every scenario runs the representative
+// heterogeneous mix across FaultDevices cards under both dispatch
+// policies, so the study contrasts work-steal re-dispatch against
+// round-robin re-sharding under identical injected faults.
+var (
+	FaultDevices = 4
+	FaultMix     = 1
+)
+
+// faultDevices is the study's card count under the suite's MaxDevices
+// cap, floored at 2: card-death and switch scenarios need a survivor,
+// so a -devices 1 run shrinks the study to two cards rather than
+// degenerating to a single-card cluster no plan can validate against.
+func (s *Suite) faultDevices() int {
+	d := FaultDevices
+	if s.MaxDevices > 0 && s.MaxDevices < d {
+		d = s.MaxDevices
+		if d < 2 {
+			d = 2
+		}
+	}
+	return d
+}
+
+// faultCells enumerates the study in (scenario, policy) order — the
+// order the render's rows consume.
+func faultCells(scs []FaultScenario, devices int) []Job {
+	var out []Job
+	for _, sc := range scs {
+		for _, p := range cluster.Policies {
+			out = append(out, Job{
+				Kind: KindFault, Mix: FaultMix, Sys: ClusterSys,
+				Fault: sc.Name, Devices: devices, Policy: p,
+			})
 		}
 	}
 	return out
@@ -515,6 +628,8 @@ func Cells(id string) []Job {
 		return clusterCells(ClusterDeviceCounts)
 	case "topology":
 		return topologyCells()
+	case "faults":
+		return faultCells(DefaultFaultScenarios(), FaultDevices)
 	}
 	return nil
 }
@@ -526,13 +641,16 @@ func CellsFor(ids []string) []Job {
 	return cellsFor(ids, Cells)
 }
 
-// CellsFor is the suite-aware variant of the free function: cluster cells
-// honour the suite's MaxDevices cap, so a prewarm warms exactly the cells
-// the suite's renders will read.
+// CellsFor is the suite-aware variant of the free function: cluster and
+// fault cells honour the suite's MaxDevices cap and fault scenarios, so
+// a prewarm warms exactly the cells the suite's renders will read.
 func (s *Suite) CellsFor(ids []string) []Job {
 	return cellsFor(ids, func(id string) []Job {
-		if id == "cluster" {
+		switch id {
+		case "cluster":
 			return clusterCells(s.deviceCounts())
+		case "faults":
+			return faultCells(s.faultScenarios(), s.faultDevices())
 		}
 		return Cells(id)
 	})
@@ -1059,6 +1177,59 @@ func (s *Suite) Topology(ctx context.Context) (string, error) {
 		}
 	}
 	return tput.String() + "\n" + util.String() + "\n", nil
+}
+
+// Faults renders the fault-injection study: for every scenario and
+// dispatch policy, the degraded cluster outcome (throughput, makespan,
+// work lost and redone, recovery latency, injected flash retries),
+// followed by the per-fault accounting records the dispatcher charged.
+// The cells are ordinary suite jobs, so a prewarm that included the
+// faults experiment makes this pure assembly.
+func (s *Suite) Faults(ctx context.Context) (string, error) {
+	devices := s.faultDevices()
+	summary := &report.Table{
+		Title: fmt.Sprintf("Fault injection: degraded-mode outcomes (MX%d @ %d cards, %s)",
+			FaultMix, devices, ClusterSys),
+		Header: []string{"scenario", "policy", "MB/s", "makespan", "lost", "redone", "recovery", "retries"},
+	}
+	detail := &report.Table{
+		Title:  "Fault injection: per-fault accounting",
+		Header: []string{"scenario", "policy", "fault", "target", "at", "detect", "recovery", "lost", "redone", "window MB/s"},
+	}
+	for _, sc := range s.faultScenarios() {
+		for _, p := range cluster.Policies {
+			r, err := s.Run(ctx, Job{
+				Kind: KindFault, Mix: FaultMix, Sys: ClusterSys,
+				Fault: sc.Name, Devices: devices, Policy: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			var lost, recov units.Duration
+			var redone int
+			for _, f := range r.Faults {
+				lost += f.Lost
+				redone += f.Redone
+				if f.Recovery > recov {
+					recov = f.Recovery
+				}
+			}
+			summary.Add(sc.Name, clusterPolicyName(p),
+				fmt.Sprintf("%.1f", r.ThroughputMBps()), units.FormatDuration(r.Makespan),
+				units.FormatDuration(lost), redone, units.FormatDuration(recov), r.FlashRetries)
+			for _, f := range r.Faults {
+				win := "-"
+				if f.DegradedTput > 0 {
+					win = fmt.Sprintf("%.1f", f.DegradedTput)
+				}
+				detail.Add(sc.Name, clusterPolicyName(p), f.Kind, f.Target,
+					units.FormatDuration(f.At), units.FormatDuration(f.Detect),
+					units.FormatDuration(f.Recovery), units.FormatDuration(f.Lost),
+					f.Redone, win)
+			}
+		}
+	}
+	return summary.String() + "\n" + detail.String() + "\n", nil
 }
 
 func systemNames() []string {

@@ -1,0 +1,345 @@
+// Package faults makes failure a first-class, deterministic input to a
+// cluster run: a Plan is a declarative, seeded schedule of injections —
+// card death mid-run, switch-pipe flap and throttle windows, and
+// flash-level wear (bad superblocks, read-retry storms) — that the
+// cluster dispatcher, the dispatch fabric, and the flash latency model
+// consume.
+//
+// Every injection is keyed to simulated event time and the plan's seed,
+// never to wall clock or math/rand state, so the same plan over the same
+// workload produces byte-identical output at any worker count — fault
+// scenarios are pinned by golden files exactly like healthy runs. An
+// empty plan injects nothing and leaves every healthy run byte-identical.
+//
+// The package deliberately knows nothing about the cluster dispatcher:
+// it owns the schedule's shape (types, text format, validation, presets)
+// and the one piece of simulation it can model locally — the wear
+// Retrier that internal/flash calls per read — while internal/cluster
+// interprets deaths and switch windows against its own dispatch model.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Kind is the injection type of one scheduled Event.
+type Kind int
+
+const (
+	// CardDeath fail-stops one card at Event.At: work in flight on the
+	// card is lost, and the host notices after the plan's detect latency.
+	CardDeath Kind = iota
+	// SwitchThrottle reduces one switch's dispatch bandwidth to
+	// Event.FactorPct percent during [At, Until).
+	SwitchThrottle
+	// SwitchFlap takes one switch's dispatch link down during [At,
+	// Until): dispatches requested inside the window stall to its end.
+	SwitchFlap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CardDeath:
+		return "card-death"
+	case SwitchThrottle:
+		return "switch-throttle"
+	case SwitchFlap:
+		return "switch-flap"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled injection. Times are simulated cluster time
+// (the dispatcher's clock, 0 = run start).
+type Event struct {
+	Kind Kind
+	// Card is the global card id a CardDeath targets.
+	Card int
+	// Switch names the switch a SwitchThrottle/SwitchFlap targets
+	// ("sw0" is the implicit single-switch topology's lone switch).
+	Switch string
+	// At is the injection instant; Until ends a window event's
+	// [At, Until) span and is ignored by CardDeath.
+	At, Until units.Duration
+	// FactorPct is the bandwidth surviving a throttle window, in
+	// percent (1..99). Flap and death events leave it zero.
+	FactorPct int
+}
+
+// Wear is the flash-reliability side of a plan: deterministic per-read
+// retry latency in the storengine path, never nondeterminism. Times are
+// device-local (each card's own run clock).
+type Wear struct {
+	// BadSBPct percent of superblocks are worn (seeded selection); every
+	// read touching one pays BadRetries extra sensing cycles.
+	BadSBPct   int
+	BadRetries int
+	// During [StormFrom, StormUntil), StormPct percent of reads (seeded
+	// per-read decision) pay StormRetries extra sensing cycles — a
+	// read-disturb retry storm.
+	StormFrom, StormUntil units.Duration
+	StormPct              int
+	StormRetries          int
+}
+
+// active reports whether the wear model injects anything at all.
+func (w Wear) active() bool {
+	return (w.BadSBPct > 0 && w.BadRetries > 0) || (w.StormPct > 0 && w.StormRetries > 0)
+}
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing; see IsZero.
+type Plan struct {
+	// Seed drives every seeded decision (worn-superblock selection,
+	// per-read storm draws). Same seed, same plan, same workload →
+	// byte-identical output.
+	Seed uint64
+	// Detect is the host's failure-detection latency: the gap between a
+	// card's death and the dispatcher reacting. 0 selects DefaultDetect.
+	Detect units.Duration
+	Events []Event
+	Wear   Wear
+}
+
+// DefaultDetect is the failure-detection latency a plan without an
+// explicit `detect` line assumes: a host-side heartbeat interval.
+const DefaultDetect = 50 * units.Microsecond
+
+// NoDeath is the death-time sentinel for cards the plan never kills.
+const NoDeath = units.Duration(math.MaxInt64)
+
+// MaxRetries bounds the per-read retry count either wear mechanism may
+// request, keeping worst-case read latency finite and plans fuzzable.
+const MaxRetries = 8
+
+// IsZero reports whether the plan injects nothing — the cluster layer
+// treats such a plan exactly like a nil one, which is what keeps an
+// empty plan byte-identical to a healthy run.
+func (p *Plan) IsZero() bool {
+	return p == nil || (len(p.Events) == 0 && !p.Wear.active())
+}
+
+// DetectLatency returns the failure-detection latency, applying the
+// default.
+func (p *Plan) DetectLatency() units.Duration {
+	if p == nil || p.Detect <= 0 {
+		return DefaultDetect
+	}
+	return p.Detect
+}
+
+// WearActive reports whether the plan's wear model injects retries.
+func (p *Plan) WearActive() bool { return p != nil && p.Wear.active() }
+
+// DeathTimes returns each card's death instant (NoDeath for survivors)
+// over a cluster of the given size. Validate rejects duplicate deaths,
+// but a hostile plan keeps the earliest.
+func (p *Plan) DeathTimes(cards int) []units.Duration {
+	if p == nil {
+		return nil
+	}
+	var out []units.Duration
+	for _, ev := range p.Events {
+		if ev.Kind != CardDeath || ev.Card < 0 || ev.Card >= cards {
+			continue
+		}
+		if out == nil {
+			out = make([]units.Duration, cards)
+			for i := range out {
+				out[i] = NoDeath
+			}
+		}
+		if ev.At < out[ev.Card] {
+			out[ev.Card] = ev.At
+		}
+	}
+	return out
+}
+
+// Window is one degradation span of a switch's dispatch pipe. FactorPct
+// 0 means the link is down (flap); 1..99 means throttled to that
+// percentage of its bandwidth.
+type Window struct {
+	From, Until units.Duration
+	FactorPct   int
+}
+
+// SwitchWindows returns the plan's degradation windows for the named
+// switch, sorted by start time.
+func (p *Plan) SwitchWindows(name string) []Window {
+	if p == nil {
+		return nil
+	}
+	var out []Window
+	for _, ev := range p.Events {
+		if ev.Switch != name {
+			continue
+		}
+		switch ev.Kind {
+		case SwitchFlap:
+			out = append(out, Window{From: ev.At, Until: ev.Until})
+		case SwitchThrottle:
+			out = append(out, Window{From: ev.At, Until: ev.Until, FactorPct: ev.FactorPct})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// Validate reports a structural plan error, or nil. Targets (card ids,
+// switch names) are checked against the actual cluster shape by
+// ValidateFor at run start.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, ev := range p.Events {
+		switch ev.Kind {
+		case CardDeath:
+			if ev.Card < 0 {
+				return fmt.Errorf("faults: event %d: negative card id %d", i, ev.Card)
+			}
+			if ev.At < 0 {
+				return fmt.Errorf("faults: event %d: negative death time %s", i, units.FormatDuration(ev.At))
+			}
+		case SwitchThrottle, SwitchFlap:
+			if ev.Switch == "" {
+				return fmt.Errorf("faults: event %d: %s needs a switch name", i, ev.Kind)
+			}
+			if ev.At < 0 || ev.Until <= ev.At {
+				return fmt.Errorf("faults: event %d: %s window [%s,%s) is empty or negative",
+					i, ev.Kind, units.FormatDuration(ev.At), units.FormatDuration(ev.Until))
+			}
+			if ev.Kind == SwitchThrottle && (ev.FactorPct < 1 || ev.FactorPct > 99) {
+				return fmt.Errorf("faults: event %d: throttle factor %d%% outside [1,99]", i, ev.FactorPct)
+			}
+			if ev.Kind == SwitchFlap && ev.FactorPct != 0 {
+				return fmt.Errorf("faults: event %d: flap carries a factor", i)
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	w := p.Wear
+	if w.BadSBPct < 0 || w.BadSBPct > 100 {
+		return fmt.Errorf("faults: wear bad-superblock percentage %d outside [0,100]", w.BadSBPct)
+	}
+	if w.StormPct < 0 || w.StormPct > 100 {
+		return fmt.Errorf("faults: wear storm percentage %d outside [0,100]", w.StormPct)
+	}
+	if w.BadRetries < 0 || w.BadRetries > MaxRetries {
+		return fmt.Errorf("faults: wear bad-superblock retries %d outside [0,%d]", w.BadRetries, MaxRetries)
+	}
+	if w.StormRetries < 0 || w.StormRetries > MaxRetries {
+		return fmt.Errorf("faults: wear storm retries %d outside [0,%d]", w.StormRetries, MaxRetries)
+	}
+	if w.StormPct > 0 && w.StormRetries > 0 && (w.StormFrom < 0 || w.StormUntil <= w.StormFrom) {
+		return fmt.Errorf("faults: wear storm window [%s,%s) is empty or negative",
+			units.FormatDuration(w.StormFrom), units.FormatDuration(w.StormUntil))
+	}
+	if p.Detect < 0 {
+		return fmt.Errorf("faults: negative detect latency %s", units.FormatDuration(p.Detect))
+	}
+	return nil
+}
+
+// ValidateFor checks the plan's targets against an actual cluster shape:
+// every death must name an existing card and leave at least one
+// survivor, and every switch event must name a declared switch.
+func (p *Plan) ValidateFor(cards int, switches []string) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	dead := map[int]bool{}
+	for i, ev := range p.Events {
+		switch ev.Kind {
+		case CardDeath:
+			if ev.Card >= cards {
+				return fmt.Errorf("faults: event %d kills card %d but the cluster has %d cards", i, ev.Card, cards)
+			}
+			if dead[ev.Card] {
+				return fmt.Errorf("faults: event %d kills card %d twice", i, ev.Card)
+			}
+			dead[ev.Card] = true
+		case SwitchThrottle, SwitchFlap:
+			found := false
+			for _, name := range switches {
+				if name == ev.Switch {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("faults: event %d targets unknown switch %q (have: %s)",
+					i, ev.Switch, strings.Join(switches, ", "))
+			}
+		}
+	}
+	if len(dead) >= cards {
+		return fmt.Errorf("faults: plan kills all %d cards — no survivors to recover onto", cards)
+	}
+	return nil
+}
+
+// Retrier is the wear model internal/flash consults per page-group
+// read. It is pure — no state mutates across calls — so one Retrier is
+// safe to share between concurrently simulating cards, and a given
+// (time, group, sequence) triple always returns the same retry count.
+type Retrier struct {
+	seed uint64
+	w    Wear
+	geo  flash.Geometry
+}
+
+// NewRetrier builds the deterministic wear model for one card geometry.
+// Call only when the plan's wear is active; skewed card classes carry
+// different geometries, so build one Retrier per class.
+func NewRetrier(p *Plan, geo flash.Geometry) *Retrier {
+	return &Retrier{seed: p.Seed, w: p.Wear, geo: geo}
+}
+
+// Retries returns the extra sensing cycles a read of group pg requested
+// at device-local time at — the seq'th read of this backbone — must
+// pay. Worn superblocks are a seeded selection over the superblock
+// index; storm draws hash the read sequence number, which the
+// single-threaded device simulation makes deterministic.
+func (r *Retrier) Retries(at sim.Time, pg flash.PhysGroup, seq int64) int {
+	n := 0
+	if r.w.BadSBPct > 0 && r.w.BadRetries > 0 {
+		sb := r.geo.SuperBlockOf(pg)
+		if int(mix(r.seed, 0xb10c, uint64(sb))%100) < r.w.BadSBPct {
+			n += r.w.BadRetries
+		}
+	}
+	if r.w.StormPct > 0 && r.w.StormRetries > 0 &&
+		at >= sim.Time(r.w.StormFrom) && at < sim.Time(r.w.StormUntil) {
+		if int(mix(r.seed, 0x5702, uint64(seq))%100) < r.w.StormPct {
+			n += r.w.StormRetries
+		}
+	}
+	if n > 2*MaxRetries {
+		n = 2 * MaxRetries
+	}
+	return n
+}
+
+// mix is a splitmix64-style avalanche over (seed, domain, value): cheap,
+// stateless, and identical on every platform — the only randomness
+// source any injection decision is allowed to use.
+func mix(seed, domain, v uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(domain+1) + v
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+# a full-menu plan
+seed 42
+detect 75us
+card-death 1 at 2ms
+switch-flap sw0 from 1ms to 3ms
+switch-throttle sw1 from 3ms to 6ms factor 25%
+wear-bad-sb 3% retries 2
+wear-storm from 0 to 10ms prob 20% retries 1
+`
+	p, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.Detect != 75*units.Microsecond {
+		t.Errorf("seed/detect = %d/%s", p.Seed, units.FormatDuration(p.Detect))
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(p.Events))
+	}
+	if p.Events[0] != (Event{Kind: CardDeath, Card: 1, At: 2 * units.Millisecond}) {
+		t.Errorf("event 0 = %+v", p.Events[0])
+	}
+	if p.Events[2].FactorPct != 25 || p.Events[2].Switch != "sw1" {
+		t.Errorf("event 2 = %+v", p.Events[2])
+	}
+	if p.Wear.BadSBPct != 3 || p.Wear.StormUntil != 10*units.Millisecond {
+		t.Errorf("wear = %+v", p.Wear)
+	}
+
+	back, err := Parse([]byte(p.String()))
+	if err != nil {
+		t.Fatalf("reparsing String(): %v\n%s", err, p.String())
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Errorf("round trip drifted:\n%+v\n%+v", p, back)
+	}
+}
+
+func TestParseErrorsNameTheLine(t *testing.T) {
+	cases := []struct{ text, want string }{
+		{"card-death x at 2ms", "line 1"},
+		{"seed 1\nbogus-directive 3", "line 2"},
+		{"switch-throttle sw0 from 1ms to 2ms factor 0%", "factor"},
+		{"switch-throttle sw0 from 2ms to 1ms factor 50%", "empty or negative"},
+		{"card-death 0 at -5ms", "bad duration"},
+		{"wear-bad-sb 120% retries 2", "outside [0,100]"},
+		{"wear-bad-sb 10% retries 99", "outside [0,8]"},
+		{"detect 9223372036854775807s", "overflows"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.text))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.text, err, c.want)
+		}
+	}
+}
+
+func TestIsZeroAndDetect(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.IsZero() || !(&Plan{Seed: 9}).IsZero() {
+		t.Error("nil and seed-only plans should be zero")
+	}
+	// Wear with a percentage but zero retries injects nothing.
+	if !(&Plan{Wear: Wear{BadSBPct: 50}}).IsZero() {
+		t.Error("retry-free wear should be zero")
+	}
+	if (&Plan{Events: []Event{{Kind: CardDeath, Card: 0, At: 1}}}).IsZero() {
+		t.Error("plan with a death is not zero")
+	}
+	if got := nilPlan.DetectLatency(); got != DefaultDetect {
+		t.Errorf("nil detect = %s", units.FormatDuration(got))
+	}
+	if got := (&Plan{Detect: units.Millisecond}).DetectLatency(); got != units.Millisecond {
+		t.Errorf("explicit detect = %s", units.FormatDuration(got))
+	}
+}
+
+func TestDeathTimes(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: CardDeath, Card: 2, At: 5 * units.Millisecond},
+		{Kind: CardDeath, Card: 7, At: units.Millisecond}, // out of range: ignored
+	}}
+	d := p.DeathTimes(4)
+	want := []units.Duration{NoDeath, NoDeath, 5 * units.Millisecond, NoDeath}
+	if !reflect.DeepEqual(d, want) {
+		t.Errorf("DeathTimes = %v", d)
+	}
+	if (&Plan{}).DeathTimes(4) != nil {
+		t.Error("deathless plan should return nil")
+	}
+}
+
+func TestSwitchWindowsSorted(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: SwitchThrottle, Switch: "sw0", At: 5 * units.Millisecond, Until: 6 * units.Millisecond, FactorPct: 50},
+		{Kind: SwitchFlap, Switch: "sw0", At: units.Millisecond, Until: 2 * units.Millisecond},
+		{Kind: SwitchFlap, Switch: "sw1", At: 0, Until: units.Millisecond},
+	}}
+	w := p.SwitchWindows("sw0")
+	if len(w) != 2 || w[0].From != units.Millisecond || w[0].FactorPct != 0 || w[1].FactorPct != 50 {
+		t.Errorf("SwitchWindows(sw0) = %+v", w)
+	}
+	if len(p.SwitchWindows("sw9")) != 0 {
+		t.Error("unknown switch should have no windows")
+	}
+}
+
+func TestValidateFor(t *testing.T) {
+	death := func(card int) *Plan {
+		return &Plan{Events: []Event{{Kind: CardDeath, Card: card, At: units.Millisecond}}}
+	}
+	if err := death(5).ValidateFor(4, []string{"sw0"}); err == nil {
+		t.Error("out-of-range card accepted")
+	}
+	if err := death(1).ValidateFor(4, []string{"sw0"}); err != nil {
+		t.Error(err)
+	}
+	if err := death(0).ValidateFor(1, []string{"sw0"}); err == nil {
+		t.Error("killing the only card accepted")
+	}
+	twice := &Plan{Events: []Event{
+		{Kind: CardDeath, Card: 1, At: units.Millisecond},
+		{Kind: CardDeath, Card: 1, At: 2 * units.Millisecond},
+	}}
+	if err := twice.ValidateFor(4, nil); err == nil {
+		t.Error("double death accepted")
+	}
+	flap := &Plan{Events: []Event{{Kind: SwitchFlap, Switch: "swX", At: 0, Until: 1}}}
+	if err := flap.ValidateFor(4, []string{"sw0", "sw1"}); err == nil {
+		t.Error("unknown switch accepted")
+	}
+}
+
+func TestRetrierDeterministicAndBounded(t *testing.T) {
+	p := &Plan{Seed: 99, Wear: Wear{
+		BadSBPct: 30, BadRetries: MaxRetries,
+		StormFrom: 0, StormUntil: units.Second, StormPct: 50, StormRetries: MaxRetries,
+	}}
+	r := NewRetrier(p, flash.DefaultGeometry())
+	sawBad, sawClean := false, false
+	for pg := flash.PhysGroup(0); pg < 4096; pg += 64 {
+		for seq := int64(0); seq < 4; seq++ {
+			n := r.Retries(sim.Time(units.Millisecond), pg, seq)
+			if n != r.Retries(sim.Time(units.Millisecond), pg, seq) {
+				t.Fatal("Retries is not a pure function")
+			}
+			if n < 0 || n > 2*MaxRetries {
+				t.Fatalf("retries %d outside [0,%d]", n, 2*MaxRetries)
+			}
+			if n > 0 {
+				sawBad = true
+			} else {
+				sawClean = true
+			}
+		}
+	}
+	if !sawBad || !sawClean {
+		t.Errorf("seeded selection degenerate: bad=%v clean=%v", sawBad, sawClean)
+	}
+	// Outside the storm window only the bad-superblock term remains.
+	late := sim.Time(2 * units.Second)
+	for pg := flash.PhysGroup(0); pg < 1024; pg += 64 {
+		if n := r.Retries(late, pg, 0); n != 0 && n != MaxRetries {
+			t.Fatalf("post-storm retries = %d, want 0 or %d", n, MaxRetries)
+		}
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range PresetNames {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+		if p.IsZero() {
+			t.Errorf("preset %s injects nothing", name)
+		}
+		// Presets must round-trip through the text form too.
+		back, err := Parse([]byte(p.String()))
+		if err != nil {
+			t.Fatalf("preset %s String() unparseable: %v", name, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Errorf("preset %s round trip drifted", name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// FuzzFaultPlan feeds arbitrary bytes through the plan parser and, for
+// every plan that validates, exercises the canonical-form round trip
+// and hammers the wear Retrier: no input may panic, validated plans
+// must reparse to themselves, and retry counts must stay bounded.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte("seed 7\ncard-death 1 at 2ms\n"))
+	f.Add([]byte("switch-flap sw0 from 1ms to 3ms\nswitch-throttle sw0 from 3ms to 6ms factor 25%\n"))
+	f.Add([]byte("wear-bad-sb 3% retries 2\nwear-storm from 0 to 10ms prob 20% retries 1\n"))
+	f.Add([]byte("detect 100us\nseed 18446744073709551615\n"))
+	f.Add([]byte("# only a comment\n\n"))
+	f.Add([]byte("card-death -1 at 1ms\n"))
+	f.Add([]byte("switch-throttle sw0 from 2ms to 1ms factor 200%\n"))
+	f.Add([]byte("wear-storm from 0 to 0 prob 100% retries 100\n"))
+
+	geo := flash.DefaultGeometry()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return // malformed plans must be rejected, not panic
+		}
+		// Validated plans round-trip through the canonical text form.
+		back, err := Parse([]byte(p.String()))
+		if err != nil {
+			t.Fatalf("String() of a valid plan unparseable: %v\n%s", err, p.String())
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip drifted:\n%+v\n%+v", p, back)
+		}
+		// Shape queries never panic, whatever the targets say.
+		p.DeathTimes(4)
+		p.SwitchWindows("sw0")
+		p.ValidateFor(4, []string{"sw0", "sw1"})
+		if !p.WearActive() {
+			return
+		}
+		r := NewRetrier(p, geo)
+		for _, at := range []sim.Time{0, sim.Time(p.Wear.StormFrom), sim.Time(p.Wear.StormUntil), 1 << 40} {
+			for _, pg := range []flash.PhysGroup{0, 63, flash.PhysGroup(geo.TotalGroups() - 1)} {
+				if n := r.Retries(at, pg, int64(at)); n < 0 || n > 2*MaxRetries {
+					t.Fatalf("retries %d outside [0,%d]", n, 2*MaxRetries)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// The plan text format is line-based: one directive per line, `#`
+// comments and blank lines ignored. Durations take an ns/us/ms/s suffix
+// (a bare integer is nanoseconds); percentages may carry a trailing `%`.
+//
+//	seed 7
+//	detect 100us
+//	card-death 1 at 2ms
+//	switch-flap sw0 from 1ms to 3ms
+//	switch-throttle sw0 from 3ms to 6ms factor 25%
+//	wear-bad-sb 3% retries 2
+//	wear-storm from 0 to 10ms prob 20% retries 1
+
+// Parse decodes a plan from its text form and validates it
+// structurally. Errors name the offending line.
+func Parse(text []byte) (*Plan, error) {
+	p := &Plan{}
+	for ln, line := range strings.Split(string(text), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		if err := p.parseLine(f); err != nil {
+			return nil, fmt.Errorf("faults: line %d: %w", ln+1, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Load reads and parses a plan file.
+func Load(path string) (*Plan, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	p, err := Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+func (p *Plan) parseLine(f []string) error {
+	switch f[0] {
+	case "seed":
+		if len(f) != 2 {
+			return fmt.Errorf("want: seed N")
+		}
+		v, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", f[1])
+		}
+		p.Seed = v
+		return nil
+	case "detect":
+		if len(f) != 2 {
+			return fmt.Errorf("want: detect DURATION")
+		}
+		d, err := parseDur(f[1])
+		if err != nil {
+			return err
+		}
+		p.Detect = d
+		return nil
+	case "card-death":
+		if len(f) != 4 || f[2] != "at" {
+			return fmt.Errorf("want: card-death CARD at DURATION")
+		}
+		card, err := strconv.Atoi(f[1])
+		if err != nil {
+			return fmt.Errorf("bad card id %q", f[1])
+		}
+		at, err := parseDur(f[3])
+		if err != nil {
+			return err
+		}
+		p.Events = append(p.Events, Event{Kind: CardDeath, Card: card, At: at})
+		return nil
+	case "switch-flap":
+		if len(f) != 6 || f[2] != "from" || f[4] != "to" {
+			return fmt.Errorf("want: switch-flap SWITCH from DURATION to DURATION")
+		}
+		from, until, err := parseSpan(f[3], f[5])
+		if err != nil {
+			return err
+		}
+		p.Events = append(p.Events, Event{Kind: SwitchFlap, Switch: f[1], At: from, Until: until})
+		return nil
+	case "switch-throttle":
+		if len(f) != 8 || f[2] != "from" || f[4] != "to" || f[6] != "factor" {
+			return fmt.Errorf("want: switch-throttle SWITCH from DURATION to DURATION factor PCT%%")
+		}
+		from, until, err := parseSpan(f[3], f[5])
+		if err != nil {
+			return err
+		}
+		pct, err := parsePct(f[7])
+		if err != nil {
+			return err
+		}
+		p.Events = append(p.Events, Event{Kind: SwitchThrottle, Switch: f[1], At: from, Until: until, FactorPct: pct})
+		return nil
+	case "wear-bad-sb":
+		if len(f) != 4 || f[2] != "retries" {
+			return fmt.Errorf("want: wear-bad-sb PCT%% retries N")
+		}
+		pct, err := parsePct(f[1])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil {
+			return fmt.Errorf("bad retry count %q", f[3])
+		}
+		p.Wear.BadSBPct, p.Wear.BadRetries = pct, n
+		return nil
+	case "wear-storm":
+		if len(f) != 9 || f[1] != "from" || f[3] != "to" || f[5] != "prob" || f[7] != "retries" {
+			return fmt.Errorf("want: wear-storm from DURATION to DURATION prob PCT%% retries N")
+		}
+		from, until, err := parseSpan(f[2], f[4])
+		if err != nil {
+			return err
+		}
+		pct, err := parsePct(f[6])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(f[8])
+		if err != nil {
+			return fmt.Errorf("bad retry count %q", f[8])
+		}
+		p.Wear.StormFrom, p.Wear.StormUntil = from, until
+		p.Wear.StormPct, p.Wear.StormRetries = pct, n
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", f[0])
+	}
+}
+
+// parseSpan parses a window's two endpoints.
+func parseSpan(from, until string) (units.Duration, units.Duration, error) {
+	a, err := parseDur(from)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseDur(until)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+// parsePct parses "25" or "25%".
+func parsePct(s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSuffix(s, "%"))
+	if err != nil {
+		return 0, fmt.Errorf("bad percentage %q", s)
+	}
+	return v, nil
+}
+
+// parseDur parses a duration with an ns/us/ms/s suffix; a bare integer
+// is nanoseconds. Values must be non-negative integers — the plan's
+// clock is the simulator's integer nanosecond clock, so there is no
+// float rounding to disagree about.
+func parseDur(s string) (units.Duration, error) {
+	unit := units.Duration(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, num = units.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, num = units.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = units.Second, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad duration %q (want non-negative integer with ns/us/ms/s suffix)", s)
+	}
+	d := units.Duration(v) * unit
+	if unit > 1 && d/unit != units.Duration(v) {
+		return 0, fmt.Errorf("duration %q overflows", s)
+	}
+	return d, nil
+}
+
+// String renders the plan in its canonical text form: parsing the
+// output yields an equal plan, which the fuzz target exercises.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	if p.Detect > 0 {
+		fmt.Fprintf(&b, "detect %s\n", formatDur(p.Detect))
+	}
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case CardDeath:
+			fmt.Fprintf(&b, "card-death %d at %s\n", ev.Card, formatDur(ev.At))
+		case SwitchFlap:
+			fmt.Fprintf(&b, "switch-flap %s from %s to %s\n", ev.Switch, formatDur(ev.At), formatDur(ev.Until))
+		case SwitchThrottle:
+			fmt.Fprintf(&b, "switch-throttle %s from %s to %s factor %d%%\n",
+				ev.Switch, formatDur(ev.At), formatDur(ev.Until), ev.FactorPct)
+		}
+	}
+	if p.Wear.BadSBPct > 0 || p.Wear.BadRetries > 0 {
+		fmt.Fprintf(&b, "wear-bad-sb %d%% retries %d\n", p.Wear.BadSBPct, p.Wear.BadRetries)
+	}
+	if p.Wear.StormPct > 0 || p.Wear.StormRetries > 0 {
+		fmt.Fprintf(&b, "wear-storm from %s to %s prob %d%% retries %d\n",
+			formatDur(p.Wear.StormFrom), formatDur(p.Wear.StormUntil), p.Wear.StormPct, p.Wear.StormRetries)
+	}
+	return b.String()
+}
+
+// formatDur renders a duration exactly (no rounding), choosing the
+// largest suffix that divides it, so String round-trips through Parse.
+func formatDur(d units.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d%units.Second == 0:
+		return fmt.Sprintf("%ds", d/units.Second)
+	case d%units.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/units.Millisecond)
+	case d%units.Microsecond == 0:
+		return fmt.Sprintf("%dus", d/units.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", d)
+	}
+}

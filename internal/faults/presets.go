@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// PresetNames lists the built-in fault scenarios, in the order the
+// experiment suite sweeps them.
+var PresetNames = []string{"cardloss", "flap", "wear"}
+
+// Preset returns a built-in fault plan by name. Each returns a fresh
+// copy, so callers may mutate the result.
+//
+// The injection times are tuned for the default fault-experiment shape
+// (scale-64 workloads on a 4-card cluster): deaths and windows land
+// inside the run's busy phase, where recovery actually has work to
+// move. On much longer runs they simply fire earlier in the run; on
+// much shorter ones they become no-ops — harmless either way.
+func Preset(name string) (*Plan, error) {
+	switch name {
+	case "cardloss":
+		// Kill one mid-indexed card once dispatch has spread work out,
+		// with a 100us heartbeat: exercises both policies' recovery.
+		return &Plan{
+			Seed:   7,
+			Detect: 100 * units.Microsecond,
+			Events: []Event{
+				{Kind: CardDeath, Card: 1, At: 2 * units.Millisecond},
+			},
+		}, nil
+	case "flap":
+		// The lone implicit switch goes dark for the first 2ms, then limps
+		// at 25% bandwidth until 50ms: the initial dispatch burst stalls at
+		// the flap's end and its transfers stretch 4x through the throttle,
+		// so throughput dips without any work being lost.
+		return &Plan{
+			Seed: 11,
+			Events: []Event{
+				{Kind: SwitchFlap, Switch: "sw0", At: 0, Until: 2 * units.Millisecond},
+				{Kind: SwitchThrottle, Switch: "sw0", At: 2 * units.Millisecond, Until: 50 * units.Millisecond, FactorPct: 25},
+			},
+		}, nil
+	case "wear":
+		// 3% of superblocks are worn (2 extra sense cycles per read) and
+		// a read-disturb storm hits 20% of reads for the first 10ms of
+		// each device's run: pure latency, no lost work.
+		return &Plan{
+			Seed: 13,
+			Wear: Wear{
+				BadSBPct:     3,
+				BadRetries:   2,
+				StormFrom:    0,
+				StormUntil:   10 * units.Millisecond,
+				StormPct:     20,
+				StormRetries: 1,
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown preset %q (have: %s)", name, strings.Join(PresetNames, ", "))
+	}
+}

@@ -194,7 +194,13 @@ type Backbone struct {
 	erases   []int64 // per super block
 	programs int64
 	reads    int64
-	store    map[PhysGroup][]byte
+	// retrier, when set, charges deterministic extra sensing cycles per
+	// read (worn superblocks, read-retry storms); retries/retryTime
+	// account for what it injected.
+	retrier   ReadRetrier
+	retries   int64
+	retryTime units.Duration
+	store     map[PhysGroup][]byte
 	// base is the immutable payload layer of a forked backbone (nil when
 	// the backbone was built fresh). Reads fall through to it; writes and
 	// erases shadow it in store, where a nil entry is a tombstone — the
@@ -249,11 +255,29 @@ func (b *Backbone) rowOf(pg PhysGroup) int {
 	return int(int64(pg) % b.rows)
 }
 
-// readGroupRow books one page-group read on the given die row.
-func (b *Backbone) readGroupRow(at sim.Time, row int) sim.Time {
+// ReadRetrier charges deterministic extra sensing cycles for a read:
+// the wear model (internal/faults) implements it. Retries must be a
+// pure function of its arguments so shared instances stay
+// deterministic across concurrently simulating backbones.
+type ReadRetrier interface {
+	Retries(at sim.Time, pg PhysGroup, seq int64) int
+}
+
+// SetRetrier installs (or, with nil, removes) the per-read wear model.
+func (b *Backbone) SetRetrier(r ReadRetrier) { b.retrier = r }
+
+// RetryStats returns the injected read retries and the total extra
+// sensing time they cost.
+func (b *Backbone) RetryStats() (retries int64, retryTime units.Duration) {
+	return b.retries, b.retryTime
+}
+
+// readGroupRow books one page-group read on the given die row, holding
+// each die for sense (ReadPage plus any injected retry cycles).
+func (b *Backbone) readGroupRow(at sim.Time, row int, sense units.Duration) sim.Time {
 	done := at
 	for ch := 0; ch < b.Geo.Channels; ch++ {
-		_, senseEnd := b.die(ch, row).Reserve(at, b.Tim.ReadPage)
+		_, senseEnd := b.die(ch, row).Reserve(at, sense)
 		_, xferEnd := b.channels[ch].Transfer(senseEnd, b.perCh)
 		if xferEnd > done {
 			done = xferEnd
@@ -265,9 +289,20 @@ func (b *Backbone) readGroupRow(at sim.Time, row int) sim.Time {
 
 // ReadGroup books a page-group read requested at time at and returns when
 // the data is available on the channel side. All channels sense in parallel;
-// each channel then moves planes-per-die pages over its bus.
+// each channel then moves planes-per-die pages over its bus. An installed
+// ReadRetrier stretches the sense phase by whole ReadPage cycles — wear
+// surfaces as latency, never as a failed read.
 func (b *Backbone) ReadGroup(at sim.Time, pg PhysGroup) sim.Time {
-	return b.readGroupRow(at, b.rowOf(pg))
+	sense := b.Tim.ReadPage
+	if b.retrier != nil {
+		if n := b.retrier.Retries(at, pg, b.reads); n > 0 {
+			extra := units.Duration(n) * b.Tim.ReadPage
+			sense += extra
+			b.retries += int64(n)
+			b.retryTime += extra
+		}
+	}
+	return b.readGroupRow(at, b.rowOf(pg), sense)
 }
 
 // ProgramGroup books a page-group program requested at time at and returns

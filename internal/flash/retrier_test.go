@@ -1,0 +1,66 @@
+package flash
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// fixedRetrier charges a constant retry count on every read and records
+// the sequence numbers it was consulted with.
+type fixedRetrier struct {
+	n    int
+	seqs []int64
+}
+
+func (r *fixedRetrier) Retries(at sim.Time, pg PhysGroup, seq int64) int {
+	r.seqs = append(r.seqs, seq)
+	return r.n
+}
+
+func TestReadRetrierStretchesSense(t *testing.T) {
+	clean := newTestBackbone(t)
+	worn := newTestBackbone(t)
+	fr := &fixedRetrier{n: 3}
+	worn.SetRetrier(fr)
+
+	base := clean.ReadGroup(0, 0)
+	slow := worn.ReadGroup(0, 0)
+	if want := base + 3*worn.Tim.ReadPage; slow != want {
+		t.Errorf("retried read done %s, want %s", units.FormatDuration(slow), units.FormatDuration(want))
+	}
+	retries, rt := worn.RetryStats()
+	if retries != 3 || rt != 3*worn.Tim.ReadPage {
+		t.Errorf("RetryStats = %d/%s", retries, units.FormatDuration(rt))
+	}
+	if r2, _ := clean.RetryStats(); r2 != 0 {
+		t.Errorf("clean backbone reports %d retries", r2)
+	}
+
+	// The sequence number the retrier sees is the backbone read counter,
+	// so it advances per read and starts at zero.
+	worn.ReadGroup(slow, 1)
+	if len(fr.seqs) != 2 || fr.seqs[0] != 0 || fr.seqs[1] != 1 {
+		t.Errorf("retrier saw sequence %v, want [0 1]", fr.seqs)
+	}
+
+	// Removing the retrier restores clean timing for later reads.
+	worn.SetRetrier(nil)
+	r3 := newTestBackbone(t)
+	if got, want := worn.ReadGroup(units.Second, 2), r3.ReadGroup(units.Second, 2); got != want {
+		t.Errorf("post-removal read done %s, want %s", units.FormatDuration(got), units.FormatDuration(want))
+	}
+}
+
+func TestZeroRetrierIsFree(t *testing.T) {
+	clean := newTestBackbone(t)
+	hooked := newTestBackbone(t)
+	hooked.SetRetrier(&fixedRetrier{n: 0})
+	if a, b := clean.ReadGroup(0, 0), hooked.ReadGroup(0, 0); a != b {
+		t.Errorf("zero-retry hook changed timing: %s vs %s", units.FormatDuration(a), units.FormatDuration(b))
+	}
+	if n, rt := hooked.RetryStats(); n != 0 || rt != 0 {
+		t.Errorf("zero-retry hook accounted %d/%s", n, units.FormatDuration(rt))
+	}
+}

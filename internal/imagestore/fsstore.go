@@ -3,12 +3,14 @@ package imagestore
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -81,18 +83,61 @@ func (s *FSStore) Get(key string) ([]byte, error) {
 	return blob, nil
 }
 
+// putAttempts bounds how many times Put retries a transiently-failing
+// write before giving up. Store fills are an optimization — the caller
+// degrades to cache-only on a returned error — so a short bound beats
+// waiting out a persistently full disk.
+const putAttempts = 3
+
+// transientPutErr reports whether a Put failure is worth retrying: an
+// interrupted syscall, a short write, or a full disk (which a GC pass
+// over the store's own blobs may cure).
+func transientPutErr(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, io.ErrShortWrite) ||
+		errors.Is(err, syscall.ENOSPC)
+}
+
 // Put atomically installs blob under key and then garbage-collects the
-// store back under its size bound.
+// store back under its size bound. Transient write failures (EINTR,
+// short write, ENOSPC) are retried up to putAttempts times, with a GC
+// pass before each retry so a store-full condition can clear itself;
+// anything else, or a retry budget exhausted, returns the error and
+// leaves no temp debris behind.
 func (s *FSStore) Put(key string, blob []byte) error {
 	p, err := s.path(key)
 	if err != nil {
 		return err
 	}
+	var werr error
+	for attempt := 0; attempt < putAttempts; attempt++ {
+		if attempt > 0 {
+			// Best-effort space reclaim before retrying: an ENOSPC Put
+			// may only need the store's own LRU tail gone.
+			_ = s.gc()
+		}
+		if werr = s.putOnce(p, blob); werr == nil {
+			return s.gc()
+		}
+		if !transientPutErr(werr) {
+			break
+		}
+	}
+	return fmt.Errorf("imagestore: %w", werr)
+}
+
+// writeBlob writes one blob into the open temp file. It is a seam the
+// tests override to inject the transient I/O errors (EINTR, ENOSPC,
+// short write) a real filesystem only produces under pressure.
+var writeBlob = func(tmp *os.File, blob []byte) (int, error) { return tmp.Write(blob) }
+
+// putOnce is one atomic write attempt: temp file, write, chmod, rename.
+func (s *FSStore) putOnce(p string, blob []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
-		return fmt.Errorf("imagestore: %w", err)
+		return err
 	}
-	_, werr := tmp.Write(blob)
+	_, werr := writeBlob(tmp, blob)
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -105,9 +150,9 @@ func (s *FSStore) Put(key string, blob []byte) error {
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("imagestore: %w", werr)
+		return werr
 	}
-	return s.gc()
+	return nil
 }
 
 // gc deletes least-recently-used blobs (and stale temp files) until the

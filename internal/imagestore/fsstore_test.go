@@ -3,10 +3,12 @@ package imagestore
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -146,5 +148,79 @@ func TestMemStore(t *testing.T) {
 	}
 	if got[0] != 1 || s.Len() != 1 {
 		t.Fatalf("got %v (len %d), want [1 2 3] (len 1)", got, s.Len())
+	}
+}
+
+// TestPutRetriesTransientErrors injects the transient write failures a
+// real filesystem only produces under pressure (interrupted syscall,
+// short write, full disk) and pins the retry contract: transients are
+// retried up to putAttempts times, success leaves the blob installed
+// and no temp debris, and a persistent or non-transient failure
+// surfaces after the budget without looping forever.
+func TestPutRetriesTransientErrors(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realWrite := writeBlob
+	defer func() { writeBlob = realWrite }()
+
+	// Two transient failures, then success: Put must succeed.
+	var attempts int
+	fails := []error{syscall.EINTR, io.ErrShortWrite}
+	writeBlob = func(tmp *os.File, blob []byte) (int, error) {
+		attempts++
+		if attempts <= len(fails) {
+			return 0, fails[attempts-1]
+		}
+		return tmp.Write(blob)
+	}
+	if err := s.Put("abc123", []byte("payload")); err != nil {
+		t.Fatalf("Put with %d transient failures: %v", len(fails), err)
+	}
+	if attempts != 3 {
+		t.Fatalf("write attempted %d times, want 3", attempts)
+	}
+	if got, err := s.Get("abc123"); err != nil || string(got) != "payload" {
+		t.Fatalf("Get after retried Put = %q, %v", got, err)
+	}
+
+	// Persistent ENOSPC: the budget bounds the retries and the error
+	// surfaces.
+	attempts = 0
+	writeBlob = func(tmp *os.File, blob []byte) (int, error) {
+		attempts++
+		return 0, syscall.ENOSPC
+	}
+	if err := s.Put("def456", []byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("persistently full disk: err = %v, want ENOSPC", err)
+	}
+	if attempts != putAttempts {
+		t.Fatalf("write attempted %d times, want %d", attempts, putAttempts)
+	}
+
+	// A non-transient failure is not worth retrying: one attempt only.
+	attempts = 0
+	writeBlob = func(tmp *os.File, blob []byte) (int, error) {
+		attempts++
+		return 0, syscall.EACCES
+	}
+	if err := s.Put("ghi789", []byte("x")); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("permission failure: err = %v, want EACCES", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("non-transient failure retried: %d attempts", attempts)
+	}
+
+	// No temp debris from any failure path.
+	writeBlob = realWrite
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
 	}
 }

@@ -56,6 +56,42 @@ type Result struct {
 	LockConflicts int64
 	LockWaited    units.Duration
 	DrainTime     units.Duration // device-side background drain past makespan
+
+	// FlashRetries counts read-retry cycles the fault plan's wear model
+	// injected; RetryTime is the extra sensing time they cost. Zero on
+	// healthy runs.
+	FlashRetries int64
+	RetryTime    units.Duration
+
+	// Faults holds one accounting record per injected fault (nil on
+	// healthy runs), in plan order for window/wear records and part
+	// order for card deaths.
+	Faults []FaultRecord
+}
+
+// FaultRecord is the per-fault accounting a faulted cluster run reports:
+// what was injected, when the dispatcher noticed, how long recovery
+// took, and what the fault cost.
+type FaultRecord struct {
+	Kind   string // "card-death", "switch-throttle", "switch-flap", "flash-wear"
+	Target string // card id or switch name
+
+	// At is the injection instant; Until closes a window fault's span.
+	At, Until units.Duration
+	// Detect is the host's failure-detection latency for a card death.
+	Detect units.Duration
+	// Recovery is injection-to-recovered: for a card death, from the
+	// death to the last re-dispatched instance completing on a survivor.
+	Recovery units.Duration
+	// Lost is simulated work time thrown away (progress on a dead card;
+	// for flash wear, the total injected retry latency).
+	Lost units.Duration
+	// Redone counts work items re-dispatched after the fault (for flash
+	// wear, the injected retry cycles).
+	Redone int
+	// DegradedTput is the cluster throughput (MB/s) over a window
+	// fault's [At, Until) span, measured by completions inside it.
+	DegradedTput float64
 }
 
 // ThroughputMBps returns processed bytes over the makespan in MB/s
@@ -126,6 +162,10 @@ type Part struct {
 	Res    *Result
 	Offset units.Duration
 	Switch string
+	// Faults carries the fault records charged to this part — a dead
+	// card's part may have a nil Res (its work was lost) yet still
+	// report its death here.
+	Faults []FaultRecord
 }
 
 // SwitchUtil is the per-switch slice of a cluster aggregate: how many cards
@@ -184,6 +224,7 @@ func Aggregate(system, workload string, devices int, parts []Part) *Result {
 				a.utilWeighted += p.Res.WorkerUtil * float64(p.Res.Makespan)
 			}
 		}
+		r.Faults = append(r.Faults, p.Faults...)
 		if p.Res == nil {
 			continue // idle card: counted above, nothing to merge
 		}
@@ -218,6 +259,9 @@ func Aggregate(system, workload string, devices int, parts []Part) *Result {
 		r.Visor.Migrated += res.Visor.Migrated
 		r.Visor.JournalWrites += res.Visor.JournalWrites
 		r.Visor.UnmappedReads += res.Visor.UnmappedReads
+		r.FlashRetries += res.FlashRetries
+		r.RetryTime += res.RetryTime
+		r.Faults = append(r.Faults, res.Faults...)
 		r.BGReclaims += res.BGReclaims
 		r.Journals += res.Journals
 		r.LockConflicts += res.LockConflicts
