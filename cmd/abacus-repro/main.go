@@ -36,102 +36,18 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"sync"
 	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/imagestore"
-	"repro/internal/report"
-	"repro/internal/runner"
 )
 
-// experiment couples an id with a renderer producing exactly the bytes the
-// experiment prints, so renders can run as runner jobs and still be
-// emitted in listing order.
-type experiment struct {
-	id     string
-	render func(ctx context.Context, s *experiments.Suite) (string, error)
-}
-
-// table adapts the common render-one-table case.
-func table(t *report.Table, err error) (string, error) {
-	if err != nil {
-		return "", err
-	}
-	return t.String() + "\n", nil
-}
-
-// experimentList returns every experiment in the paper's presentation
-// order — the order -experiment all prints.
-func experimentList() []experiment {
-	return []experiment{
-		{"t1", func(context.Context, *experiments.Suite) (string, error) {
-			return table(experiments.Table1(), nil)
-		}},
-		{"t2", func(context.Context, *experiments.Suite) (string, error) {
-			return table(experiments.Table2(), nil)
-		}},
-		{"mixes", func(context.Context, *experiments.Suite) (string, error) {
-			return table(experiments.TableMixes(), nil)
-		}},
-		{"fig3b", func(ctx context.Context, s *experiments.Suite) (string, error) {
-			p, err := s.Fig3Points(ctx)
-			if err != nil {
-				return "", err
-			}
-			return table(experiments.Fig3bTable(p), nil)
-		}},
-		{"fig3c", func(ctx context.Context, s *experiments.Suite) (string, error) {
-			p, err := s.Fig3Points(ctx)
-			if err != nil {
-				return "", err
-			}
-			return table(experiments.Fig3cTable(p), nil)
-		}},
-		{"fig3d", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig3d(ctx)) }},
-		{"fig3e", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig3e(ctx)) }},
-		{"fig10a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig10a(ctx)) }},
-		{"fig10b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig10b(ctx)) }},
-		{"fig11a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig11a(ctx)) }},
-		{"fig11b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig11b(ctx)) }},
-		{"fig12", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig12(ctx)) }},
-		{"fig13a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig13a(ctx)) }},
-		{"fig13b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig13b(ctx)) }},
-		{"fig14a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig14a(ctx)) }},
-		{"fig14b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig14b(ctx)) }},
-		{"fig15", func(ctx context.Context, s *experiments.Suite) (string, error) {
-			res, err := s.Fig15(ctx)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			for _, name := range []string{"SIMD", "IntraO3"} {
-				r := res[name]
-				stride := len(r.FUSeries)/24 + 1
-				fmt.Fprintln(&b, report.Series("Fig 15a: FU utilization, "+name,
-					int64(r.SeriesBin), r.FUSeries, stride))
-				fmt.Fprintln(&b, report.Series("Fig 15b: power (W), "+name,
-					int64(r.SeriesBin), r.PowerSeries, stride))
-			}
-			return b.String(), nil
-		}},
-		{"fig16a", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16a(ctx)) }},
-		{"fig16b", func(ctx context.Context, s *experiments.Suite) (string, error) { return table(s.Fig16b(ctx)) }},
-		{"cluster", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Cluster(ctx) }},
-		{"topology", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Topology(ctx) }},
-		{"faults", func(ctx context.Context, s *experiments.Suite) (string, error) { return s.Faults(ctx) }},
-	}
-}
-
-func ids() []string {
-	var out []string
-	for _, e := range experimentList() {
-		out = append(out, e.id)
-	}
-	return out
-}
+// ids lists the experiment ids in presentation order. The registry
+// itself lives in internal/experiments so the serving daemon (abacusd)
+// renders exactly the bytes this command prints.
+func ids() []string { return experiments.IDs() }
 
 func main() {
 	scale := flag.Int64("scale", 16, "divide Table 2 input sizes by this factor (1 = paper scale)")
@@ -233,38 +149,15 @@ func resolveFaultPlan(arg string) (string, *faults.Plan, error) {
 // on stdout flows through w, so the golden-output regression test can
 // capture a full reproduction byte for byte.
 func run(ctx context.Context, w io.Writer, rc runConfig) error {
-	scale, exp, jobs, devices, topology := rc.scale, rc.exp, rc.jobs, rc.devices, rc.topology
+	scale, exp, jobs, devices := rc.scale, rc.exp, rc.jobs, rc.devices
 	if devices < 1 || devices > core.MaxDevices {
 		return fmt.Errorf("-devices %d outside [1,%d]", devices, core.MaxDevices)
 	}
-	all := experimentList()
-	sel := all
-	if exp != "all" {
-		sel = nil
-		for _, e := range all {
-			if e.id == exp {
-				sel = []experiment{e}
-			}
-		}
-		if sel == nil {
-			return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(ids(), " "))
-		}
-	} else {
-		// The scale-out experiments are opt-in: without -devices/-topology/
-		// -faults the full run prints exactly the single-device evaluation.
-		sel = nil
-		for _, e := range all {
-			if e.id == "cluster" && devices == 1 {
-				continue
-			}
-			if e.id == "topology" && !topology {
-				continue
-			}
-			if e.id == "faults" && rc.faults == "" {
-				continue
-			}
-			sel = append(sel, e)
-		}
+	// The scale-out experiments are opt-in: without -devices/-topology/
+	// -faults the full run prints exactly the single-device evaluation.
+	sel, err := experiments.Select(exp, devices, rc.topology, rc.faults != "")
+	if err != nil {
+		return err
 	}
 
 	s := experiments.NewSuite(scale)
@@ -297,68 +190,8 @@ func run(ctx context.Context, w io.Writer, rc runConfig) error {
 		}
 	}()
 
-	// The leading simulation-free tables print immediately — a paper-scale
-	// cache fill below can run for minutes and t1/t2/mixes need no device
-	// runs to render.
-	simFree := map[string]bool{"t1": true, "t2": true, "mixes": true}
-	for len(sel) > 0 && simFree[sel[0].id] {
-		out, err := sel[0].render(ctx, s)
-		if err != nil {
-			return fmt.Errorf("%s: %w", sel[0].id, err)
-		}
-		fmt.Fprint(w, out)
-		sel = sel[1:]
-	}
-
-	// With parallelism, fill the shared result cache first: the cells of
-	// every selected experiment are independent simulations, so this is
-	// where the cores get used, and rendering afterwards is mostly cache
-	// reads. A failed cell does not stop the fill (its error stays cached
-	// and the owning experiment's render re-surfaces it under its id), so
-	// every table before the affected experiment still prints — the same
-	// stdout a sequential run leaves behind. At -jobs 1 the fill adds
-	// nothing: skip it and let the renders below simulate on demand,
-	// streaming each table as it completes, exactly like the original
-	// sequential harness.
-	if jobs != 1 {
-		// Every device run of every selected experiment — including the
-		// Fig. 3 sweep and the Fig. 15 series, which are ordinary cells —
-		// is in this one job list, so the pool stays saturated with no
-		// serialized warm phases between experiment families. Rendering
-		// afterwards is mostly cache reads.
-		var selIDs []string
-		for _, e := range sel {
-			selIDs = append(selIDs, e.id)
-		}
-		if err := s.Prewarm(ctx, s.CellsFor(selIDs)); err != nil && runner.IsCancellation(err) {
-			return err
-		}
-	}
-
-	// Render the experiments as runner jobs. Output is keyed by job index
-	// and each table prints as soon as every table before it is done, so
-	// the stream is byte-identical to a -jobs 1 run no matter which render
-	// finishes first — and a late failure still leaves the completed
-	// prefix on stdout.
-	var (
-		mu      sync.Mutex
-		outs    = make([]string, len(sel))
-		done    = make([]bool, len(sel))
-		printed int
-	)
-	return runner.New(jobs).Each(ctx, len(sel), func(ctx context.Context, i int) error {
-		out, err := sel[i].render(ctx, s)
-		if err != nil {
-			return fmt.Errorf("%s: %w", sel[i].id, err)
-		}
-		mu.Lock()
-		outs[i], done[i] = out, true
-		for printed < len(sel) && done[printed] {
-			fmt.Fprint(w, outs[printed])
-			outs[printed] = ""
-			printed++
-		}
-		mu.Unlock()
-		return nil
-	})
+	// The render orchestration — simulation-free tables first, one shared
+	// prewarm, then ordered streaming of every table — lives on the Suite
+	// so abacusd serves the same bytes this command prints.
+	return s.Render(ctx, w, sel)
 }

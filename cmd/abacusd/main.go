@@ -1,0 +1,75 @@
+// Command abacusd serves the paper's experiments over HTTP/JSON: a
+// simulation-as-a-service daemon in front of the same renderers the
+// abacus-repro CLI uses, so a job's result bytes are exactly what the
+// CLI prints for the same knobs.
+//
+// Usage:
+//
+//	abacusd [-addr :8080] [-workers N] [-sim-workers N] [-queue N]
+//	        [-timeout D] [-max-timeout D] [-retain N] [-image-store DIR]
+//
+// workers bounds how many jobs execute concurrently; sim-workers bounds
+// each job's internal device-simulation parallelism. queue bounds the
+// admitted backlog across all clients — beyond it, submissions are shed
+// with 429 — and dispatch is round-robin across clients, so one noisy
+// client cannot starve the rest. timeout/-max-timeout bound job
+// execution server-side. -image-store persists device images so repeat
+// jobs (and restarts) skip the build lifecycle.
+//
+// A SIGINT/SIGTERM drains cleanly: queued and running jobs finalize as
+// cancelled, streaming clients see their trailers, then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	flashabacus "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "max concurrently executing jobs")
+	simWorkers := flag.Int("sim-workers", runtime.GOMAXPROCS(0), "max concurrent device simulations within one job")
+	queue := flag.Int("queue", 64, "max admitted-but-not-running jobs before submissions shed with 429")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job execution deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested job deadlines")
+	retain := flag.Int("retain", 256, "finished jobs kept queryable")
+	imageStore := flag.String("image-store", "", "persist device images under this directory")
+	flag.Parse()
+
+	cfg := flashabacus.ServiceConfig{
+		Workers: *workers, SimWorkers: *simWorkers, QueueDepth: *queue,
+		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout, RetainJobs: *retain,
+	}
+	if *imageStore != "" {
+		st, err := flashabacus.OpenImageStore(*imageStore, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abacusd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("abacusd: listening on %s (workers %d, sim-workers %d, queue %d)",
+		*addr, *workers, *simWorkers, *queue)
+	if err := flashabacus.Serve(ctx, *addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "abacusd:", err)
+		os.Exit(1)
+	}
+	// Serve drained the workers; flush outstanding image-store fills so
+	// the next process finds every image this one built.
+	flashabacus.FlushImageStore()
+	log.Printf("abacusd: drained")
+}

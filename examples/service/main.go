@@ -1,0 +1,77 @@
+// Serving mode: start an in-process abacusd, submit a job, stream its
+// result, and read the admission-control counters — the whole client
+// lifecycle against a real listener on a loopback port.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	flashabacus "repro"
+)
+
+func main() {
+	// A daemon on an ephemeral loopback port. In production this is
+	// `abacusd -addr :8080`; here the server lives and dies with main.
+	svc := flashabacus.NewService(flashabacus.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: svc}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx := context.Background()
+	client := flashabacus.NewServiceClient("http://"+ln.Addr().String(), "example")
+
+	ids, err := client.Experiments(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server renders %d experiments: %s ...\n", len(ids), strings.Join(ids[:4], " "))
+
+	// Submit one small job and stream the bytes as the render produces
+	// them — they are exactly what `abacus-repro -experiment fig10a
+	// -scale 256` prints.
+	st, err := client.Submit(ctx, flashabacus.JobRequest{Experiment: "fig10a", Scale: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s accepted (state %s)\n", st.ID, st.State)
+	if _, err := client.Stream(ctx, st.ID, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// A second identical submission hits the first job's warm caches.
+	st2, err := client.Submit(ctx, flashabacus.JobRequest{Experiment: "fig10a", Scale: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Result(ctx, st2.ID); err != nil {
+		log.Fatal(err)
+	}
+	fin, err := client.Status(ctx, st2.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat job %s: %s\n", fin.ID, fin.State)
+
+	// The metrics endpoint exposes the admission and cache counters.
+	scrape, err := client.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "abacusd_jobs_total") ||
+			strings.HasPrefix(line, "abacusd_image_cache_hits_total ") {
+			fmt.Println(line)
+		}
+	}
+}

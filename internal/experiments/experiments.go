@@ -169,13 +169,27 @@ type Suite struct {
 
 // NewSuite returns an empty suite at the given scale.
 func NewSuite(scale int64) *Suite {
+	return NewSuiteWithImages(scale, nil)
+}
+
+// NewSuiteWithImages returns an empty suite at the given scale sharing a
+// caller-owned image/probe cache instead of a private one. A long-lived
+// process serving many suites — one per (scale, devices, fault-scenario)
+// combination — hands every suite the same cache, so a repeat job forks
+// warm device images even when its cell results were built by another
+// suite. A nil cache keeps the suite self-contained, exactly like
+// NewSuite.
+func NewSuiteWithImages(scale int64, images *cluster.ImageCache) *Suite {
 	if scale < 1 {
 		scale = 1
+	}
+	if images == nil {
+		images = cluster.NewImageCache()
 	}
 	return &Suite{
 		Scale:  scale,
 		cells:  map[Job]*flight[*stats.Result]{},
-		images: cluster.NewImageCache(),
+		images: images,
 	}
 }
 

@@ -1,0 +1,204 @@
+// A small typed client for the abacusd API, used by the test harness,
+// the CI smoke client, and the examples.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to one abacusd server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport (default http.DefaultClient). Point it
+	// at httptest or a custom transport in tests.
+	HTTPClient *http.Client
+	// Name, when set, travels as the X-Abacus-Client fairness identity
+	// on every submit that does not name its own client.
+	Name string
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// do issues a request and decodes a JSON body into out (when non-nil),
+// turning non-2xx responses into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Name != "" {
+		req.Header.Set("X-Abacus-Client", c.Name)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return c.apiErr(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// StatusError is a non-2xx API response: the HTTP status code plus the
+// server's error message. Callers branch on Code — 429 means shed,
+// retry later.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("abacusd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+func (c *Client) apiErr(resp *http.Response) error {
+	var ae apiError
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &ae) != nil || ae.Error == "" {
+		ae.Error = strings.TrimSpace(string(body))
+	}
+	return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+}
+
+// Submit enqueues a job and returns its accepted status. A full queue
+// surfaces as a *StatusError with Code 429.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st)
+	return st, err
+}
+
+// Status polls a job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List returns the retained jobs in submission order.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var sts []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &sts)
+	return sts, err
+}
+
+// Cancel requests cancellation and returns the job's resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Experiments lists the experiment ids the server renders.
+func (c *Client) Experiments(ctx context.Context) ([]string, error) {
+	var ids []string
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &ids)
+	return ids, err
+}
+
+// Result fetches a finished job's rendered bytes, blocking server-side
+// until the job is terminal. A failed or cancelled job returns a
+// *StatusError with Code 409 carrying the job's error.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/result?wait=1"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusConflict {
+			var st JobStatus
+			if json.NewDecoder(resp.Body).Decode(&st) == nil {
+				return nil, &StatusError{Code: resp.StatusCode,
+					Message: fmt.Sprintf("job %s %s: %s", id, st.State, st.Error)}
+			}
+		}
+		return nil, c.apiErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stream copies the job's output to w as the server renders it and
+// returns the job's final state (from the response trailer) once the
+// stream ends.
+func (c *Client) Stream(ctx context.Context, id string, w io.Writer) (JobState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/stream"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", c.apiErr(resp)
+	}
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return "", err
+	}
+	state := JobState(resp.Trailer.Get("X-Abacus-Job-State"))
+	if state == "" {
+		// Trailer missing (e.g. an intermediary stripped it): fall back
+		// to a status poll.
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return "", err
+		}
+		return st.State, nil
+	}
+	if state != StateDone {
+		return state, fmt.Errorf("job %s %s: %s", id, state, resp.Trailer.Get("X-Abacus-Job-Error"))
+	}
+	return state, nil
+}
+
+// Metrics fetches one /metrics scrape.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", c.apiErr(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,67 @@
+// Fuzzing the request decoder: whatever bytes arrive at POST /v1/jobs,
+// decoding must never panic, and any request that validates must
+// survive a marshal/decode/validate round trip unchanged — the
+// normalized form is a fixed point.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func FuzzJobRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"experiment":"fig10a","scale":256}`,
+		`{"experiment":"all","scale":64,"devices":8,"topology":true}`,
+		`{"experiment":"faults","fault_plan":"cardloss","timeout_ms":5000,"client":"fuzz"}`,
+		`{"fault_plan":"detect 100us\ncard 1 death 2ms","fault_name":"inline"}`,
+		`{"experiment":"nope"}`,
+		`{"scale":-1}`,
+		`{"experiment":"t1"} trailing`,
+		`{"unknown":"field"}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{`,
+		``,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeJobRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected bytes just need to not panic
+		}
+		plan, err := req.Normalize()
+		if err != nil {
+			return
+		}
+		// A validated request is normalized: re-encoding and re-decoding
+		// it must reproduce the same request and the same plan.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal normalized request: %v", err)
+		}
+		req2, err := DecodeJobRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-decode %s: %v", enc, err)
+		}
+		plan2, err := req2.Normalize()
+		if err != nil {
+			t.Fatalf("re-validate %s: %v", enc, err)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("round trip changed request: %+v != %+v", req, req2)
+		}
+		if (plan == nil) != (plan2 == nil) {
+			t.Fatalf("round trip changed plan presence: %v != %v", plan, plan2)
+		}
+		if plan != nil && !reflect.DeepEqual(plan, plan2) {
+			t.Fatalf("round trip changed plan: %+v != %+v", plan, plan2)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Prometheus-style text metrics, hand-rolled: the exposition format is
+// a few dozen lines of text and pulling in a client library for it
+// would be the daemon's only dependency.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// durationBuckets are the job-latency histogram bounds in seconds.
+// Renders span microseconds (cache hits) to minutes (paper scale), so
+// the buckets are roughly logarithmic across that range.
+var durationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 120}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	counts []uint64 // one per bucket, plus the +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(durationBuckets)+1)
+	}
+	i := sort.SearchFloat64s(durationBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// metrics is the daemon's counter registry. Every mutation and every
+// scrape snapshot runs under one mutex, so a scrape observes a
+// consistent cut — the race-freedom the -race load test pins.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]map[int]uint64 // route pattern -> status code -> count
+	jobs      map[string]uint64         // event -> count
+	running   int
+	durations map[string]*histogram // experiment id -> job latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  map[string]map[int]uint64{},
+		jobs:      map[string]uint64{},
+		durations: map[string]*histogram{},
+	}
+}
+
+func (m *metrics) request(route string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = map[int]uint64{}
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+}
+
+func (m *metrics) jobEvent(event string) {
+	m.mu.Lock()
+	m.jobs[event]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) runningDelta(d int) {
+	m.mu.Lock()
+	m.running += d
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(experiment string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.durations[experiment]
+	if h == nil {
+		h = &histogram{}
+		m.durations[experiment] = h
+	}
+	h.observe(seconds)
+}
+
+// render writes one scrape in Prometheus text exposition format. The
+// queue depth and image-cache counters are sampled by the caller at
+// scrape time (the scheduler and cluster.ImageCache each snapshot their
+// state under their own mutex), so every gauge in one scrape is a
+// consistent read of its owner's state.
+func (m *metrics) render(w io.Writer, queueDepth int, img cluster.CacheStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP abacusd_requests_total HTTP requests served, by route and status code.")
+	fmt.Fprintln(w, "# TYPE abacusd_requests_total counter")
+	for _, route := range sortedKeys(m.requests) {
+		byCode := m.requests[route]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "abacusd_requests_total{route=%q,code=\"%d\"} %d\n", route, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP abacusd_jobs_total Job lifecycle events (accepted, shed, rejected, dispatched, done, failed, cancelled).")
+	fmt.Fprintln(w, "# TYPE abacusd_jobs_total counter")
+	for _, ev := range sortedKeys(m.jobs) {
+		fmt.Fprintf(w, "abacusd_jobs_total{event=%q} %d\n", ev, m.jobs[ev])
+	}
+
+	fmt.Fprintln(w, "# HELP abacusd_queue_depth Jobs admitted but not yet dispatched.")
+	fmt.Fprintln(w, "# TYPE abacusd_queue_depth gauge")
+	fmt.Fprintf(w, "abacusd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP abacusd_jobs_running Jobs currently executing.")
+	fmt.Fprintln(w, "# TYPE abacusd_jobs_running gauge")
+	fmt.Fprintf(w, "abacusd_jobs_running %d\n", m.running)
+
+	fmt.Fprintln(w, "# HELP abacusd_job_duration_seconds Wall-clock latency of completed jobs, by experiment.")
+	fmt.Fprintln(w, "# TYPE abacusd_job_duration_seconds histogram")
+	for _, exp := range sortedKeys(m.durations) {
+		h := m.durations[exp]
+		var cum uint64
+		for i, le := range durationBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "abacusd_job_duration_seconds_bucket{experiment=%q,le=%q} %d\n",
+				exp, formatFloat(le), cum)
+		}
+		cum += h.counts[len(durationBuckets)]
+		fmt.Fprintf(w, "abacusd_job_duration_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\n", exp, cum)
+		fmt.Fprintf(w, "abacusd_job_duration_seconds_sum{experiment=%q} %s\n", exp, formatFloat(h.sum))
+		fmt.Fprintf(w, "abacusd_job_duration_seconds_count{experiment=%q} %d\n", exp, h.total)
+	}
+
+	// Image cache and store counters: one consistent CacheStats copy per
+	// scrape, taken under the cache's own mutex.
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"abacusd_image_cache_hits_total", "Device-image memory cache hits.", img.ImageHits},
+		{"abacusd_image_cache_misses_total", "Device-image memory cache misses (builds or store loads).", img.ImageMisses},
+		{"abacusd_image_cache_evictions_total", "Device images evicted from the memory cache.", img.ImageEvictions},
+		{"abacusd_image_probe_hits_total", "Probe-plan cache hits.", img.ProbeHits},
+		{"abacusd_image_probe_misses_total", "Probe-plan cache misses.", img.ProbeMisses},
+		{"abacusd_image_store_hits_total", "Persistent image-store hits.", img.StoreHits},
+		{"abacusd_image_store_misses_total", "Persistent image-store misses.", img.StoreMisses},
+		{"abacusd_image_store_fills_total", "Images written to the persistent store.", img.StorePuts},
+		{"abacusd_image_store_errors_total", "Persistent image-store I/O errors.", img.StoreErrors},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

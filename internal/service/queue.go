@@ -1,0 +1,157 @@
+// Admission control: a bounded, per-client-fair job queue.
+//
+// The daemon multiplexes many clients over a fixed worker pool, so the
+// queue is where the paper's self-governing pitch meets the front door:
+// depth is bounded (excess submissions are shed with 429 instead of
+// growing an unbounded backlog), and dispatch is round-robin across
+// clients rather than FIFO across arrivals — a client that dumps fifty
+// jobs cannot starve a client that submitted one.
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by submit when the queue is at capacity; the
+// HTTP layer maps it to 429 Too Many Requests with a Retry-After hint.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// errClosed is returned by submit after the scheduler shut down; the
+// HTTP layer maps it to 503.
+var errClosed = errors.New("service: server shutting down")
+
+// scheduler is the fair bounded queue between the HTTP handlers and the
+// worker pool. Jobs are held per client in FIFO order; pop serves the
+// clients of the ring round-robin, one job per visit, so every client's
+// head-of-line job is dispatched within one lap regardless of how deep
+// any sibling's backlog is.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	limit  int
+	queues map[string][]*job
+	ring   []string // clients with non-empty queues, round-robin order
+	next   int      // ring cursor: index of the client pop serves next
+	queued int
+	closed bool
+}
+
+func newScheduler(limit int) *scheduler {
+	s := &scheduler{limit: limit, queues: map[string][]*job{}}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// depth reports how many jobs are queued (admitted, not yet dispatched).
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// submit admits j, or rejects it with ErrQueueFull / errClosed. The
+// bound is on total queued jobs across all clients: per-client quotas
+// would let idle clients strand capacity, while a shared bound plus
+// round-robin dispatch keeps both admission and service fair.
+func (s *scheduler) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if s.queued >= s.limit {
+		return ErrQueueFull
+	}
+	if _, ok := s.queues[j.client]; !ok {
+		s.ring = append(s.ring, j.client)
+	}
+	s.queues[j.client] = append(s.queues[j.client], j)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns the head job of the
+// client at the ring cursor, advancing the cursor one client per pop —
+// one lap of the ring serves every waiting client exactly once. Returns
+// nil once the scheduler is closed.
+func (s *scheduler) pop() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued == 0 {
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+	client := s.ring[s.next]
+	q := s.queues[client]
+	j := q[0]
+	s.queues[client] = q[1:]
+	s.queued--
+	if len(s.queues[client]) == 0 {
+		delete(s.queues, client)
+		// Removing the cursor's own slot shifts the following clients
+		// left into it, so the cursor already points at the next client.
+		s.ring = append(s.ring[:s.next], s.ring[s.next+1:]...)
+	} else {
+		s.next++
+	}
+	if s.next >= len(s.ring) {
+		s.next = 0
+	}
+	return j
+}
+
+// remove extracts a still-queued job (for eager cancellation) without
+// advancing the round-robin cursor — a cancellation must not cost any
+// client its turn. It reports whether the job was found; false means
+// the job was already dispatched and the caller must cancel it in
+// flight instead.
+func (s *scheduler) remove(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[j.client]
+	for i := range q {
+		if q[i] != j {
+			continue
+		}
+		s.queues[j.client] = append(q[:i], q[i+1:]...)
+		s.queued--
+		if len(s.queues[j.client]) == 0 {
+			delete(s.queues, j.client)
+			for ri, c := range s.ring {
+				if c == j.client {
+					s.ring = append(s.ring[:ri], s.ring[ri+1:]...)
+					if ri < s.next {
+						s.next--
+					}
+					break
+				}
+			}
+			if s.next >= len(s.ring) {
+				s.next = 0
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// close stops admission and wakes every blocked pop; it returns the
+// jobs still queued so the server can finalize them as cancelled.
+func (s *scheduler) close() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var leftover []*job
+	for _, c := range s.ring {
+		leftover = append(leftover, s.queues[c]...)
+	}
+	s.queues = map[string][]*job{}
+	s.ring = nil
+	s.queued = 0
+	s.cond.Broadcast()
+	return leftover
+}

@@ -1,0 +1,658 @@
+// Package service is the simulation-as-a-service layer: an HTTP/JSON
+// daemon (cmd/abacusd) that serves experiment renders to many
+// concurrent clients from one shared image cache and worker pool.
+//
+// The API is deliberately small:
+//
+//	POST   /v1/jobs              submit a JobRequest  -> 202 JobStatus
+//	GET    /v1/jobs              list retained jobs
+//	GET    /v1/jobs/{id}         poll a job's status
+//	GET    /v1/jobs/{id}/result  fetch the rendered bytes (?wait=1 blocks)
+//	GET    /v1/jobs/{id}/stream  stream the bytes as the render produces them
+//	DELETE /v1/jobs/{id}         cancel (queued jobs dequeue eagerly)
+//	GET    /v1/experiments       list experiment ids
+//	GET    /metrics              Prometheus text exposition
+//	GET    /healthz              liveness
+//
+// The load-bearing invariant, pinned by the golden-equivalence suite:
+// a job's result bytes are exactly what the abacus-repro CLI prints for
+// the same knobs. The daemon adds admission control (bounded queue,
+// 429 shedding, per-client round-robin fairness) and server-side
+// deadlines on top, never different bytes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/imagestore"
+)
+
+// Config shapes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// Workers is the number of concurrent jobs (default 2). Each job's
+	// render additionally fans out over SimWorkers device simulations.
+	Workers int
+	// SimWorkers bounds the per-job simulation parallelism, the Suite's
+	// Workers knob (default 1: within a job, renders are sequential, so
+	// concurrency comes from serving many jobs at once).
+	SimWorkers int
+	// QueueDepth bounds admitted-but-not-dispatched jobs across all
+	// clients (default 64); past it, submits shed with 429.
+	QueueDepth int
+	// DefaultTimeout bounds a job's execution when the request names no
+	// timeout_ms (default 2m); MaxTimeout clamps requested timeouts
+	// (default 10m). Both run from dispatch, not submission.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetainJobs bounds how many terminal jobs stay queryable (default
+	// 256); the oldest are forgotten first.
+	RetainJobs int
+	// MaxSuites bounds the pool of experiment suites kept warm, one per
+	// distinct (scale, devices, fault plan) combination (default 8).
+	MaxSuites int
+	// Images is the image cache every suite shares (default: a fresh
+	// process-wide cache). The flashabacus facade passes its shared one.
+	Images *cluster.ImageCache
+	// Store optionally backs Images with a persistent image store.
+	Store imagestore.Store
+
+	// gate, when set by in-package tests, runs after a job is dispatched
+	// and before its render starts — a seam for deterministically
+	// blocking workers in fairness and shedding tests. The context is
+	// the job's execution context, so a blocked gate still honors
+	// cancellation and shutdown.
+	gate func(context.Context, *job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.SimWorkers < 1 {
+		c.SimWorkers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.DefaultTimeout > c.MaxTimeout {
+		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.RetainJobs < 1 {
+		c.RetainJobs = 256
+	}
+	if c.MaxSuites < 1 {
+		c.MaxSuites = 8
+	}
+	if c.Images == nil {
+		c.Images = cluster.NewImageCache()
+	}
+	return c
+}
+
+// suiteKey identifies a reusable experiment suite: every knob that
+// shapes a suite's state. Jobs with equal keys share one suite — and
+// with it the single-flight cell cache, so a repeat job is mostly
+// cache reads.
+type suiteKey struct {
+	scale   int64
+	devices int
+	fault   string // fault name + "\x00" + plan text ("" = none)
+}
+
+// Server is the daemon: an http.Handler plus the worker pool behind it.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	sched  *scheduler
+	met    *metrics
+	images *cluster.ImageCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	nextID  int64
+	nextSeq int64
+	jobs    map[string]*job
+	order   []string // job ids, submission order, for retention
+	suites  map[suiteKey]*experiments.Suite
+	suiteQ  []suiteKey // suite keys, least recently used first
+	closed  bool
+}
+
+// New builds a Server and starts its workers. Callers must Close it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.Store != nil {
+		cfg.Images.SetStore(cfg.Store)
+	}
+	s := &Server{
+		cfg:    cfg,
+		sched:  newScheduler(cfg.QueueDepth),
+		met:    newMetrics(),
+		images: cfg.Images,
+		jobs:   map[string]*job{},
+		suites: map[suiteKey]*experiments.Suite{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/jobs", s.handleSubmit)
+	s.route("GET /v1/jobs", s.handleList)
+	s.route("GET /v1/jobs/{id}", s.handleStatus)
+	s.route("GET /v1/jobs/{id}/result", s.handleResult)
+	s.route("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.route("GET /v1/experiments", s.handleExperiments)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// route registers a handler wrapped with request accounting; the route
+// pattern doubles as the requests_total label, so label cardinality is
+// the route table, not the URL space.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.request(pattern, rec.code)
+	})
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops admission, cancels queued and running jobs, and waits for
+// the workers to drain. The handler keeps answering reads (status,
+// results, metrics) for jobs it retains.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, j := range s.sched.close() {
+		if j.finalize(StateCancelled, "server shutting down", time.Now()) {
+			s.met.jobEvent("cancelled")
+		}
+	}
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// statusRecorder captures the response code for request accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the error body every non-2xx JSON response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientID resolves the fairness identity of a request: the body's
+// client field, else the X-Abacus-Client header, else the remote host —
+// so unlabelled clients on distinct hosts still get distinct queues.
+func clientID(req *JobRequest, r *http.Request) (string, error) {
+	if req.Client != "" {
+		return req.Client, nil
+	}
+	if h := r.Header.Get("X-Abacus-Client"); h != "" {
+		if !nameRE.MatchString(h) {
+			return "", fmt.Errorf("X-Abacus-Client %q must match %s", h, nameRE)
+		}
+		return h, nil
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		host = r.RemoteAddr
+	}
+	if host == "" {
+		host = "anonymous"
+	}
+	return host, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeJobRequest(r.Body)
+	if err != nil {
+		s.met.jobEvent("rejected")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan, err := req.Normalize()
+	if err != nil {
+		s.met.jobEvent("rejected")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	client, err := clientID(req, r)
+	if err != nil {
+		s.met.jobEvent("rejected")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.Client = client
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, client, *req, plan, timeout, time.Now())
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.retainLocked()
+	s.mu.Unlock()
+
+	if err := s.sched.submit(j); err != nil {
+		s.dropJob(id)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.met.jobEvent("shed")
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			s.met.jobEvent("rejected")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	s.met.jobEvent("accepted")
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// retainLocked forgets the oldest terminal jobs beyond the retention
+// bound. Queued and running jobs are never dropped — their count is
+// bounded by queue depth plus workers.
+func (s *Server) retainLocked() {
+	if len(s.order) <= s.cfg.RetainJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.RetainJobs
+	for _, id := range s.order {
+		if excess > 0 {
+			if j := s.jobs[id]; j != nil {
+				j.mu.Lock()
+				terminal := j.state.terminal()
+				j.mu.Unlock()
+				if terminal {
+					delete(s.jobs, id)
+					excess--
+					continue
+				}
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// dropJob removes a job that never entered the queue (shed or rejected
+// at admission), so it does not linger as a phantom queued job.
+func (s *Server) dropJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusRequestTimeout, "wait cancelled: %v", r.Context().Err())
+			return
+		}
+	}
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		j.mu.Lock()
+		out := append([]byte(nil), j.out...)
+		j.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Abacus-Job-State", string(st.State))
+		w.Write(out)
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusConflict, st)
+	default:
+		// Not terminal: report where the job stands instead of blocking.
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// handleStream writes the job's output bytes as the render produces
+// them and closes once the job is terminal; the final state travels in
+// the X-Abacus-Job-State trailer so a streaming client needs no
+// follow-up status call.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Trailer", "X-Abacus-Job-State, X-Abacus-Job-Error")
+	flusher, _ := w.(http.Flusher)
+
+	// A disconnected client never signals the job's cond, so mirror the
+	// request context into a broadcast that wakes the wait loop below.
+	stop := context.AfterFunc(r.Context(), func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	sent := 0
+	for {
+		j.mu.Lock()
+		for sent == len(j.out) && !j.state.terminal() && r.Context().Err() == nil {
+			j.cond.Wait()
+		}
+		chunk := append([]byte(nil), j.out[sent:]...)
+		// finalize and Write share j.mu, so a terminal state observed
+		// with the full buffer snapshotted means chunk is the last data.
+		final := j.state.terminal() && sent+len(chunk) == len(j.out)
+		errMsg := j.errMsg
+		state := j.state
+		j.mu.Unlock()
+
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			sent += len(chunk)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+		if final {
+			w.Header().Set("X-Abacus-Job-State", string(state))
+			w.Header().Set("X-Abacus-Job-Error", errMsg)
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.cancel(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// cancel requests cancellation: a still-queued job dequeues eagerly and
+// finalizes immediately; a running job has its render context
+// cancelled and finalizes when the render unwinds; a terminal job is
+// left as it ended.
+func (s *Server) cancel(j *job) {
+	j.mu.Lock()
+	j.cancelled = true
+	cancelRun := j.cancelRun
+	j.mu.Unlock()
+	if s.sched.remove(j) {
+		if j.finalize(StateCancelled, "cancelled by client", time.Now()) {
+			s.met.jobEvent("cancelled")
+		}
+		return
+	}
+	if cancelRun != nil {
+		cancelRun()
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.IDs())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.sched.depth(), s.images.Stats())
+}
+
+// worker is the dispatch loop: pop the next fairly-scheduled job and
+// run it to a terminal state. Exits when the scheduler closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.sched.pop()
+		if j == nil {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one dispatched job to a terminal state.
+func (s *Server) execute(j *job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	if j.state.terminal() { // cancel raced dispatch
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelled {
+		j.mu.Unlock()
+		if j.finalize(StateCancelled, "cancelled by client", time.Now()) {
+			s.met.jobEvent("cancelled")
+		}
+		return
+	}
+	j.state = StateRunning
+	j.seq = seq
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	s.met.jobEvent("dispatched")
+	s.met.runningDelta(+1)
+	defer s.met.runningDelta(-1)
+
+	if s.cfg.gate != nil {
+		s.cfg.gate(ctx, j)
+	}
+
+	err := s.render(ctx, j)
+	now := time.Now()
+	j.mu.Lock()
+	cancelled := j.cancelled
+	started := j.started
+	j.mu.Unlock()
+
+	var state JobState
+	var errMsg string
+	switch {
+	case err == nil:
+		state = StateDone
+	case cancelled:
+		state, errMsg = StateCancelled, "cancelled by client"
+	case s.baseCtx.Err() != nil:
+		state, errMsg = StateCancelled, "server shutting down"
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		state, errMsg = StateFailed, fmt.Sprintf("deadline exceeded after %s", j.timeout)
+	default:
+		state, errMsg = StateFailed, err.Error()
+	}
+	if j.finalize(state, errMsg, now) {
+		s.met.jobEvent(string(state))
+		if state == StateDone {
+			s.met.observe(j.req.Experiment, now.Sub(started).Seconds())
+		}
+	}
+}
+
+// render renders the job's selection through a pooled suite; the job
+// itself is the io.Writer, so streaming readers see bytes live.
+func (s *Server) render(ctx context.Context, j *job) error {
+	sel, err := experiments.Select(j.req.Experiment, j.req.Devices, j.req.Topology, j.plan != nil)
+	if err != nil {
+		return err
+	}
+	suite, err := s.suiteFor(j)
+	if err != nil {
+		return err
+	}
+	return suite.Render(ctx, j, sel)
+}
+
+// suiteFor returns the pooled suite for the job's knobs, creating and
+// LRU-evicting as needed. Suites share the server's image cache, so an
+// evicted suite costs repeat jobs its cell cache, not its images.
+func (s *Server) suiteFor(j *job) (*experiments.Suite, error) {
+	key := suiteKey{scale: j.req.Scale, devices: j.req.Devices}
+	if j.plan != nil {
+		// Keyed by the request's plan text (a preset name or the inline
+		// grammar), which determines the parsed plan.
+		key.fault = j.req.FaultName + "\x00" + j.req.FaultPlan
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if suite, ok := s.suites[key]; ok {
+		s.suiteQ = append(dropSuiteKey(s.suiteQ, key), key)
+		return suite, nil
+	}
+	suite := experiments.NewSuiteWithImages(j.req.Scale, s.images)
+	suite.Workers = s.cfg.SimWorkers
+	suite.MaxDevices = j.req.Devices
+	if j.plan != nil {
+		suite.SetFaultScenarios([]experiments.FaultScenario{{Name: j.req.FaultName, Plan: j.plan}})
+	}
+	s.suites[key] = suite
+	s.suiteQ = append(s.suiteQ, key)
+	if len(s.suiteQ) > s.cfg.MaxSuites {
+		evict := s.suiteQ[0]
+		s.suiteQ = s.suiteQ[1:]
+		delete(s.suites, evict)
+		// A running job holding the evicted suite keeps its reference;
+		// eviction only stops new jobs from finding it.
+	}
+	return suite, nil
+}
+
+func dropSuiteKey(q []suiteKey, key suiteKey) []suiteKey {
+	for i, k := range q {
+		if k == key {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// Experiments returns the servable experiment ids (presentation order),
+// plus the "all" pseudo-id accepted by submit.
+func Experiments() []string {
+	return append(experiments.IDs(), "all")
+}
