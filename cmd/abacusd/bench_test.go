@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	flashabacus "repro"
+)
+
+// BenchmarkServeThroughput measures the service path end to end: N
+// concurrent clients pushing submit→result round trips of the instant
+// t1 experiment through a real HTTP stack, so the cost under test is
+// admission, scheduling, journal-free dispatch, and result delivery —
+// not simulation. Reports jobs/sec and the p99 round-trip latency.
+func BenchmarkServeThroughput(b *testing.B) {
+	const clients = 4
+	svc := flashabacus.NewService(flashabacus.ServiceConfig{
+		Workers: runtime.GOMAXPROCS(0), QueueDepth: 4 * clients, RetainJobs: 8 * clients,
+	})
+	hs := httptest.NewServer(svc)
+	defer func() {
+		svc.Close()
+		hs.Close()
+	}()
+
+	work := make(chan int)
+	lat := make([]time.Duration, b.N)
+	names := [clients]string{"c0", "c1", "c2", "c3"}
+	var wg sync.WaitGroup
+	ctx := context.Background()
+
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			c := flashabacus.NewServiceClient(hs.URL, name)
+			for i := range work {
+				t0 := time.Now()
+				st, err := c.Submit(ctx, flashabacus.JobRequest{Experiment: "t1", Client: name})
+				if err == nil {
+					_, err = c.Result(ctx, st.ID)
+				}
+				if err != nil {
+					b.Error(err)
+					continue // keep draining so the producer never blocks
+				}
+				lat[i] = time.Since(t0)
+			}
+		}(names[w])
+	}
+	for i := 0; i < b.N; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[(len(lat)*99)/100]
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/s")
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+}

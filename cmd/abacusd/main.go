@@ -7,6 +7,7 @@
 //
 //	abacusd [-addr :8080] [-workers N] [-sim-workers N] [-queue N]
 //	        [-timeout D] [-max-timeout D] [-retain N] [-image-store DIR]
+//	        [-journal DIR] [-watchdog-grace D] [-chaos SPEC]
 //
 // workers bounds how many jobs execute concurrently; sim-workers bounds
 // each job's internal device-simulation parallelism. queue bounds the
@@ -15,6 +16,16 @@
 // client cannot starve the rest. timeout/-max-timeout bound job
 // execution server-side. -image-store persists device images so repeat
 // jobs (and restarts) skip the build lifecycle.
+//
+// -journal makes job lifecycle durable: accepts, dispatches, and
+// terminal states (with result bytes) land in an append-only CRC-framed
+// journal under DIR, and a restarted daemon replays it — finished jobs
+// stay queryable with their exact bytes, jobs that were accepted or
+// running at crash time run again. -watchdog-grace bounds how long a
+// render may ignore its cancelled context before the stuck-job
+// watchdog abandons it. -chaos injects deterministic faults
+// (kill-after=N, torn-tail, panic=EXPERIMENT, journal-fail-after=N,
+// journal-slow=DUR, seed=N) for the crash-recovery harness.
 //
 // A SIGINT/SIGTERM drains cleanly: queued and running jobs finalize as
 // cancelled, streaming clients see their trailers, then the listener
@@ -44,11 +55,15 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested job deadlines")
 	retain := flag.Int("retain", 256, "finished jobs kept queryable")
 	imageStore := flag.String("image-store", "", "persist device images under this directory")
+	journalDir := flag.String("journal", "", "journal job lifecycle under this directory and replay it at boot")
+	watchdogGrace := flag.Duration("watchdog-grace", 10*time.Second, "how long a render may ignore cancellation before the watchdog abandons it")
+	chaosSpec := flag.String("chaos", "", "deterministic fault plan for crash testing, e.g. kill-after=8,torn-tail,seed=1")
 	flag.Parse()
 
 	cfg := flashabacus.ServiceConfig{
 		Workers: *workers, SimWorkers: *simWorkers, QueueDepth: *queue,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout, RetainJobs: *retain,
+		WatchdogGrace: *watchdogGrace,
 	}
 	if *imageStore != "" {
 		st, err := flashabacus.OpenImageStore(*imageStore, 0)
@@ -57,6 +72,24 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Store = st
+	}
+	var jl *flashabacus.Journal
+	if *journalDir != "" {
+		var err error
+		if jl, err = flashabacus.OpenJournal(*journalDir); err != nil {
+			fmt.Fprintln(os.Stderr, "abacusd:", err)
+			os.Exit(1)
+		}
+		cfg.Journal = jl
+	}
+	if *chaosSpec != "" {
+		chaos, err := flashabacus.ParseServiceChaos(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abacusd:", err)
+			os.Exit(1)
+		}
+		cfg.Chaos = chaos
+		log.Printf("abacusd: chaos plan armed: %s", *chaosSpec)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,5 +104,8 @@ func main() {
 	// Serve drained the workers; flush outstanding image-store fills so
 	// the next process finds every image this one built.
 	flashabacus.FlushImageStore()
+	if jl != nil {
+		jl.Close()
+	}
 	log.Printf("abacusd: drained")
 }

@@ -131,13 +131,40 @@ func (s *FSStore) Put(key string, blob []byte) error {
 // short write) a real filesystem only produces under pressure.
 var writeBlob = func(tmp *os.File, blob []byte) (int, error) { return tmp.Write(blob) }
 
-// putOnce is one atomic write attempt: temp file, write, chmod, rename.
+// syncFile and syncDir are the durability seams: overridable so tests
+// can assert the fsync ordering without real disk barriers, and so the
+// fsyncs can be observed rather than trusted.
+var (
+	syncFile = func(f *os.File) error { return f.Sync() }
+	syncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return serr
+		}
+		return cerr
+	}
+)
+
+// putOnce is one atomic, durable write attempt: temp file, write,
+// fsync, chmod, rename, fsync the directory. The file fsync must land
+// before the rename — rename-then-crash would otherwise publish a name
+// whose bytes never reached disk, and the codec checksums would brand
+// the store entry corrupt on every boot until GC aged it out. The
+// directory fsync after the rename makes the new name itself durable.
 func (s *FSStore) putOnce(p string, blob []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
 		return err
 	}
 	_, werr := writeBlob(tmp, blob)
+	if werr == nil {
+		werr = syncFile(tmp)
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -152,7 +179,7 @@ func (s *FSStore) putOnce(p string, blob []byte) error {
 		os.Remove(tmp.Name())
 		return werr
 	}
-	return nil
+	return syncDir(s.dir)
 }
 
 // gc deletes least-recently-used blobs (and stale temp files) until the

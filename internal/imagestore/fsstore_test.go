@@ -224,3 +224,50 @@ func TestPutRetriesTransientErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestPutSyncsBeforeRename pins the durability ordering of putOnce: the
+// temp file's bytes are fsynced BEFORE the rename publishes the name,
+// and the directory is fsynced after — so a power cut can never leave a
+// published blob whose bytes did not reach disk. The regression it
+// guards: putOnce used to rename without any fsync at all.
+func TestPutSyncsBeforeRename(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realSyncFile, realSyncDir := syncFile, syncDir
+	defer func() { syncFile, syncDir = realSyncFile, realSyncDir }()
+
+	var order []string
+	syncFile = func(f *os.File) error {
+		// The rename has not happened yet iff the final name is absent.
+		if _, err := os.Stat(filepath.Join(s.Dir(), "abc123"+blobExt)); !errors.Is(err, os.ErrNotExist) {
+			t.Error("file fsync ran after the rename published the blob")
+		}
+		order = append(order, "file")
+		return realSyncFile(f)
+	}
+	syncDir = func(dir string) error {
+		if _, err := os.Stat(filepath.Join(s.Dir(), "abc123"+blobExt)); err != nil {
+			t.Error("dir fsync ran before the rename published the blob")
+		}
+		order = append(order, "dir")
+		return realSyncDir(dir)
+	}
+	if err := s.Put("abc123", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 || order[0] != "file" || order[len(order)-1] != "dir" {
+		t.Fatalf("sync order = %v, want file fsync first, dir fsync last", order)
+	}
+
+	// An fsync failure surfaces as a Put error and leaves no debris
+	// published under the final name.
+	syncFile = func(*os.File) error { return syscall.EIO }
+	if err := s.Put("def456", []byte("x")); err == nil {
+		t.Fatal("Put succeeded despite the file fsync failing")
+	}
+	if _, err := s.Get("def456"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("blob published without durable bytes: Get err = %v", err)
+	}
+}

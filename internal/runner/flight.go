@@ -2,8 +2,22 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"runtime/debug"
 	"sync"
 )
+
+// computeSafe runs compute, converting a panic into a *PanicError — a
+// panicking compute must still settle the flight, or every waiter on the
+// slot would block until its context died.
+func computeSafe[T any](ctx context.Context, compute func(context.Context) (T, error)) (val T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return compute(ctx)
+}
 
 // Flight is one single-flight cache slot: the first requester computes the
 // value, everyone else waits on ready. Slots live in caller-owned maps
@@ -44,9 +58,14 @@ func Await[T any](ctx context.Context, mu *sync.Mutex,
 			f = &Flight[T]{ready: make(chan struct{})}
 			set(f)
 			mu.Unlock()
-			f.val, f.err = compute(ctx)
-			if f.err != nil && IsCancellation(f.err) {
-				// Evict before close so retrying waiters find the slot empty.
+			f.val, f.err = computeSafe(ctx, compute)
+			var pe *PanicError
+			if f.err != nil && (IsCancellation(f.err) || errors.As(f.err, &pe)) {
+				// Evict before close so retrying waiters find the slot
+				// empty. Cancellations evict so a live-context waiter can
+				// recompute; panics evict so one wedge-inducing input does
+				// not poison the cell forever — but unlike a cancellation,
+				// the panic error IS delivered to current waiters.
 				mu.Lock()
 				set(nil)
 				mu.Unlock()

@@ -13,10 +13,37 @@ package runner
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a job panic converted into an error: the pool (and
+// Await) recover panics so one broken cell fails its own job instead of
+// killing the whole process — the serving layer depends on this to keep
+// a daemon alive through a panicking render.
+type PanicError struct {
+	// Value is the recovered panic value; Stack the goroutine stack at
+	// the panic site.
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// call invokes fn, converting a panic into a *PanicError.
+func call(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Pool executes independent jobs with at most Workers goroutines.
 type Pool struct {
@@ -79,7 +106,7 @@ func (p *Pool) run(ctx context.Context, n int, fn func(ctx context.Context, i in
 				}
 				break
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := call(ctx, i, fn); err != nil {
 				if failFast {
 					return err
 				}
@@ -118,7 +145,7 @@ func (p *Pool) run(ctx context.Context, n int, fn func(ctx context.Context, i in
 					errs[i] = err
 					return
 				}
-				if err := fn(runCtx, i); err != nil {
+				if err := call(runCtx, i, fn); err != nil {
 					errs[i] = err
 					if failFast {
 						cancel()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -255,5 +256,86 @@ func TestIsCancellation(t *testing.T) {
 	}
 	if IsCancellation(errors.New("boom")) || IsCancellation(nil) {
 		t.Error("non-cancellation misclassified")
+	}
+}
+
+// TestPanicBecomesError: a panicking job surfaces as a *PanicError with
+// the panic value and stack; the pool survives and sibling jobs run.
+// This is the isolation the serving layer leans on — one broken cell
+// fails one job, never the process.
+func TestPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := New(workers).EachAll(context.Background(), 6, func(ctx context.Context, i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 2 {
+				panic("cell exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "cell exploded" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error lost its value or stack: %v", workers, pe)
+		}
+		if got := atomic.LoadInt32(&ran); got != 6 {
+			t.Fatalf("workers=%d: %d jobs ran, want all 6 despite the panic", workers, got)
+		}
+	}
+}
+
+// TestAwaitPanicSettlesWaitersAndEvicts: a panicking compute must close
+// the flight (waiters get the error instead of hanging) and evict the
+// slot so the next request recomputes.
+func TestAwaitPanicSettlesWaitersAndEvicts(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		slot  *Flight[int]
+		calls int32
+	)
+	get := func() *Flight[int] { return slot }
+	set := func(f *Flight[int]) { slot = f }
+
+	compute := func(ctx context.Context) (int, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			panic("first compute dies")
+		}
+		return 42, nil
+	}
+
+	// Starter and a concurrent waiter: both must see the panic error.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			_, errs[k] = Await(context.Background(), &mu, get, set, compute)
+		}(k)
+	}
+	wg.Wait()
+	var panics, oks int
+	for _, err := range errs {
+		var pe *PanicError
+		switch {
+		case errors.As(err, &pe):
+			panics++
+		case err == nil:
+			oks++
+		default:
+			t.Fatalf("unexpected err %v", err)
+		}
+	}
+	// The starter always sees the panic; the waiter either raced in
+	// behind it (panic) or found the evicted slot and recomputed (ok).
+	if panics < 1 {
+		t.Fatalf("panic error reached %d goroutines, want >= 1 (oks %d)", panics, oks)
+	}
+	// The slot was evicted, so a fresh request recomputes and succeeds.
+	v, err := Await(context.Background(), &mu, get, set, compute)
+	if err != nil || v != 42 {
+		t.Fatalf("recompute after panic eviction = %d, %v; want 42, nil", v, err)
 	}
 }

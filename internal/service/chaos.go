@@ -1,0 +1,222 @@
+// Deterministic service-level fault injection: the serving analogue of
+// internal/faults' device-level plans. A Chaos plan is parsed from a
+// compact spec, seeded, and driven entirely by counters over durable
+// journal appends and render dispatches — never wall clock or rand
+// state — so a chaos run is reproducible byte for byte and the crash
+// harness can kill a real daemon at exactly the same journal point
+// every time.
+package service
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// Chaos is a deterministic service-level fault plan. The zero value
+// injects nothing; ParseChaos builds one from a spec string.
+type Chaos struct {
+	// Seed picks the kill point inside [KillAfterAppends,
+	// KillAfterAppends+KillSpread) via a splitmix64 draw, the same
+	// discipline internal/faults uses for wear retries.
+	Seed uint64
+	// KillAfterAppends SIGKILLs the process right after the Nth durable
+	// journal append (0: never) — the deterministic stand-in for an
+	// OOM-kill or power cut mid-load.
+	KillAfterAppends int64
+	// KillSpread widens the kill point to a seeded draw from
+	// [KillAfterAppends, KillAfterAppends+KillSpread).
+	KillSpread int64
+	// TornTail writes half a record frame over the journal tail
+	// immediately before the kill, so the restart also has to digest a
+	// torn final record.
+	TornTail bool
+	// PanicExperiment panics inside the render of the next PanicCount
+	// jobs naming this experiment — the in-cell panic the worker
+	// isolation must convert into a single failed job.
+	PanicExperiment string
+	// PanicCount bounds how many renders panic (ParseChaos defaults 1).
+	PanicCount int
+	// JournalFailAfter makes every journal append past the Nth fail with
+	// a synthetic I/O error (0: never) — drives the degradation breaker.
+	JournalFailAfter int64
+	// JournalSlow stalls every journal append this long first.
+	JournalSlow time.Duration
+
+	mu         sync.Mutex
+	jl         *journal.Journal
+	panicsLeft int
+	armed      bool
+}
+
+// ParseChaos parses a comma-separated chaos spec:
+//
+//	kill-after=N[+SPREAD]  SIGKILL after the Nth journal append
+//	                       (+SPREAD: seeded draw from [N, N+SPREAD))
+//	torn-tail              tear the journal tail right before the kill
+//	panic=EXPERIMENT[:K]   panic inside the next K renders (default 1)
+//	journal-fail-after=N   journal appends past N fail
+//	journal-slow=DUR       every journal append stalls DUR first
+//	seed=N                 seed for the kill draw
+func ParseChaos(spec string) (*Chaos, error) {
+	c := &Chaos{PanicCount: 1}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		switch key {
+		case "torn-tail":
+			if hasVal {
+				return nil, fmt.Errorf("chaos: torn-tail takes no value")
+			}
+			c.TornTail = true
+		case "kill-after":
+			base, spread, hasSpread := strings.Cut(val, "+")
+			n, err := strconv.ParseInt(base, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("chaos: kill-after wants a positive append count, got %q", val)
+			}
+			c.KillAfterAppends = n
+			if hasSpread {
+				s, err := strconv.ParseInt(spread, 10, 64)
+				if err != nil || s < 1 {
+					return nil, fmt.Errorf("chaos: kill-after spread must be positive, got %q", spread)
+				}
+				c.KillSpread = s
+			}
+		case "panic":
+			exp, count, hasCount := strings.Cut(val, ":")
+			if exp == "" {
+				return nil, fmt.Errorf("chaos: panic wants an experiment id")
+			}
+			c.PanicExperiment = exp
+			if hasCount {
+				k, err := strconv.Atoi(count)
+				if err != nil || k < 1 {
+					return nil, fmt.Errorf("chaos: panic count must be positive, got %q", count)
+				}
+				c.PanicCount = k
+			}
+		case "journal-fail-after":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: journal-fail-after wants a count, got %q", val)
+			}
+			c.JournalFailAfter = n
+		case "journal-slow":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("chaos: journal-slow wants a duration, got %q", val)
+			}
+			c.JournalSlow = d
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: seed wants an integer, got %q", val)
+			}
+			c.Seed = n
+		default:
+			return nil, fmt.Errorf("chaos: unknown directive %q", key)
+		}
+	}
+	return c, nil
+}
+
+// killPoint resolves the append count the kill fires at: the base count
+// plus a seeded draw over the spread.
+func (c *Chaos) killPoint() int64 {
+	if c.KillAfterAppends <= 0 {
+		return 0
+	}
+	if c.KillSpread <= 0 {
+		return c.KillAfterAppends
+	}
+	return c.KillAfterAppends + int64(splitmix64(c.Seed)%uint64(c.KillSpread))
+}
+
+// splitmix64 is the same tiny seeded mixer internal/faults uses.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// errChaosJournal is the synthetic append failure journal-fail-after
+// injects; it drives the service's degradation breaker.
+var errChaosJournal = fmt.Errorf("chaos: injected journal write failure")
+
+// arm installs the plan's journal-side injections as the journal's
+// hooks. Called by service.New when both a journal and a chaos plan are
+// configured.
+func (c *Chaos) arm(jl *journal.Journal) {
+	c.mu.Lock()
+	c.jl = jl
+	c.panicsLeft = c.PanicCount
+	c.armed = true
+	c.mu.Unlock()
+	kill := c.killPoint()
+	jl.SetHooks(
+		func(frame []byte) error {
+			if c.JournalSlow > 0 {
+				time.Sleep(c.JournalSlow)
+			}
+			if c.JournalFailAfter > 0 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				// Count attempts locally: the journal's own append counter
+				// only advances on success.
+				c.JournalFailAfter--
+				if c.JournalFailAfter <= 0 {
+					c.JournalFailAfter = -1 // keep failing forever
+					return errChaosJournal
+				}
+			}
+			return nil
+		},
+		func(appends int64) {
+			if kill > 0 && appends >= kill {
+				c.die()
+			}
+		},
+	)
+}
+
+// die executes the kill: optionally tear the journal tail, then SIGKILL
+// our own process — the closest deterministic stand-in for `kill -9`
+// that still lands at an exact journal offset. It never returns.
+func (c *Chaos) die() {
+	if c.TornTail && c.jl != nil {
+		c.jl.TearTail()
+	}
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable: SIGKILL is not handleable
+}
+
+// takePanic consumes one injected panic for the experiment, reporting
+// whether this render should die.
+func (c *Chaos) takePanic(experiment string) bool {
+	if c == nil || c.PanicExperiment == "" || experiment != c.PanicExperiment {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		// Armed lazily when there is no journal to hook.
+		c.panicsLeft = c.PanicCount
+		c.armed = true
+	}
+	if c.panicsLeft <= 0 {
+		return false
+	}
+	c.panicsLeft--
+	return true
+}

@@ -6,10 +6,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client talks to one abacusd server.
@@ -22,6 +26,23 @@ type Client struct {
 	// Name, when set, travels as the X-Abacus-Client fairness identity
 	// on every submit that does not name its own client.
 	Name string
+	// MaxRetries bounds how many times a failed call is retried (default
+	// 0: fail fast, the pre-resilience behavior). Retries use
+	// exponential backoff with full jitter, honoring the server's
+	// Retry-After hint as a floor. What retries is what is safe to
+	// retry: reads always; a submit on 429 (the job was shed, not
+	// created) or — when the request carries a DedupeKey making the
+	// resubmit idempotent — on transport errors and 5xx; a stream
+	// resumes from its byte offset after a lost connection.
+	MaxRetries int
+	// RetryBase is the first backoff ceiling (default 50ms); each retry
+	// doubles it up to RetryMax (default 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// rng is the jitter source, a seam so tests can pin backoff timing
+	// (default math/rand.Float64).
+	rng func() float64
 }
 
 func (c *Client) http() *http.Client {
@@ -35,9 +56,81 @@ func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.BaseURL, "/") + path
 }
 
+// backoff sleeps before retry attempt (0-based): full jitter over an
+// exponentially growing ceiling, floored by the server's Retry-After
+// hint. Returns early with the context's error if it dies first.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.RetryMax
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	rng := c.rng
+	if rng == nil {
+		rng = rand.Float64
+	}
+	sleep := time.Duration(float64(ceil) * rng())
+	if sleep < retryAfter {
+		sleep = retryAfter
+	}
+	t := time.NewTimer(sleep)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retriableStatus reports whether a status code signals a transient
+// server condition worth retrying.
+func retriableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
 // do issues a request and decodes a JSON body into out (when non-nil),
 // turning non-2xx responses into errors carrying the server's message.
+// Bodyless reads (GET, DELETE) are idempotent and retry transient
+// failures up to MaxRetries.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	idempotent := body == nil &&
+		(method == http.MethodGet || method == http.MethodDelete)
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil || !idempotent || attempt >= c.MaxRetries || ctx.Err() != nil {
+			return err
+		}
+		var retryAfter time.Duration
+		var se *StatusError
+		if errors.As(err, &se) {
+			if !retriableStatus(se.Code) {
+				return err
+			}
+			retryAfter = se.RetryAfter
+		}
+		if berr := c.backoff(ctx, attempt, retryAfter); berr != nil {
+			return err
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
 	if err != nil {
 		return err
@@ -69,6 +162,8 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -81,19 +176,50 @@ func (c *Client) apiErr(resp *http.Response) error {
 	if json.Unmarshal(body, &ae) != nil || ae.Error == "" {
 		ae.Error = strings.TrimSpace(string(body))
 	}
-	return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+	se := &StatusError{Code: resp.StatusCode, Message: ae.Error}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		se.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return se
 }
 
 // Submit enqueues a job and returns its accepted status. A full queue
-// surfaces as a *StatusError with Code 429.
+// surfaces as a *StatusError with Code 429 — or, with MaxRetries set,
+// is retried with backoff. A shed submit (429) is always safe to
+// resend: the server created no job. Transport errors and other
+// transient statuses may have created the job before the response was
+// lost, so they are resent only when the request carries a DedupeKey —
+// the server then answers the resend with the already-created job.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	var st JobStatus
-	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st)
-	return st, err
+	for attempt := 0; ; attempt++ {
+		var st JobStatus
+		err := c.doOnce(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st)
+		if err == nil {
+			return st, nil
+		}
+		if attempt >= c.MaxRetries || ctx.Err() != nil {
+			return JobStatus{}, err
+		}
+		var retryAfter time.Duration
+		var se *StatusError
+		switch {
+		case errors.As(err, &se):
+			if se.Code != http.StatusTooManyRequests &&
+				!(req.DedupeKey != "" && retriableStatus(se.Code)) {
+				return JobStatus{}, err
+			}
+			retryAfter = se.RetryAfter
+		case req.DedupeKey == "":
+			return JobStatus{}, err // transport error: resend not idempotent
+		}
+		if berr := c.backoff(ctx, attempt, retryAfter); berr != nil {
+			return JobStatus{}, err
+		}
+	}
 }
 
 // Status polls a job.
@@ -152,37 +278,74 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 
 // Stream copies the job's output to w as the server renders it and
 // returns the job's final state (from the response trailer) once the
-// stream ends.
+// stream ends. With MaxRetries set, a connection lost mid-stream is
+// resumed from the byte offset already written to w (the server's
+// ?offset= parameter), so w still receives every byte exactly once.
 func (c *Client) Stream(ctx context.Context, id string, w io.Writer) (JobState, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/stream"), nil)
+	sent := 0
+	for attempt := 0; ; attempt++ {
+		state, retryable, err := c.streamOnce(ctx, id, &sent, w)
+		if err == nil || !retryable || attempt >= c.MaxRetries || ctx.Err() != nil {
+			return state, err
+		}
+		if berr := c.backoff(ctx, attempt, 0); berr != nil {
+			return "", err
+		}
+	}
+}
+
+// streamOnce runs one stream attempt, resuming at *sent and advancing
+// it as bytes land in w. retryable marks failures where a retry can
+// make progress: transport errors, where the bytes already written
+// stay valid and the next attempt resumes after them.
+func (c *Client) streamOnce(ctx context.Context, id string, sent *int, w io.Writer) (JobState, bool, error) {
+	path := "/v1/jobs/" + id + "/stream"
+	if *sent > 0 {
+		path += "?offset=" + strconv.Itoa(*sent)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return "", err
+		return "", true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", c.apiErr(resp)
+		return "", false, c.apiErr(resp)
 	}
-	if _, err := io.Copy(w, resp.Body); err != nil {
-		return "", err
+	if _, err := io.Copy(&countingWriter{w: w, n: sent}, resp.Body); err != nil {
+		return "", true, err
 	}
 	state := JobState(resp.Trailer.Get("X-Abacus-Job-State"))
 	if state == "" {
 		// Trailer missing (e.g. an intermediary stripped it): fall back
 		// to a status poll.
-		st, err := c.Status(ctx, id)
-		if err != nil {
-			return "", err
+		st, perr := c.Status(ctx, id)
+		if perr != nil {
+			var se *StatusError
+			return "", !errors.As(perr, &se), perr
 		}
-		return st.State, nil
+		return st.State, false, nil
 	}
 	if state != StateDone {
-		return state, fmt.Errorf("job %s %s: %s", id, state, resp.Trailer.Get("X-Abacus-Job-Error"))
+		return state, false, fmt.Errorf("job %s %s: %s", id, state, resp.Trailer.Get("X-Abacus-Job-Error"))
 	}
-	return state, nil
+	return state, false, nil
+}
+
+// countingWriter advances *n by every byte written through it, so a
+// resumed stream knows exactly where the last connection died.
+type countingWriter struct {
+	w io.Writer
+	n *int
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	*cw.n += n
+	return n, err
 }
 
 // Metrics fetches one /metrics scrape.

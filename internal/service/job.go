@@ -46,6 +46,12 @@ type JobRequest struct {
 	// Client identifies the submitter for per-client fairness. Empty
 	// falls back to the X-Abacus-Client header, then to the remote host.
 	Client string `json:"client,omitempty"`
+	// DedupeKey makes the submit idempotent: a resubmit naming the same
+	// key returns the already-accepted job (200) instead of running the
+	// work twice. Keys are journaled with the job, so idempotency
+	// survives a daemon crash: a client that lost the response to an
+	// accepted submit can safely resend after the restart.
+	DedupeKey string `json:"dedupe_key,omitempty"`
 }
 
 // maxRequestBytes bounds a submit body; inline fault plans are a few
@@ -59,6 +65,10 @@ const maxScale = 1 << 20
 // nameRE constrains client ids and fault names: they appear in rendered
 // rows, metric labels, and log lines, so keep them printable and short.
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9._:-]{1,64}$`)
+
+// dedupeRE constrains dedupe keys; clients typically use UUIDs or
+// hashes, so allow more length than display names get.
+var dedupeRE = regexp.MustCompile(`^[A-Za-z0-9._:-]{1,128}$`)
 
 // DecodeJobRequest reads and strictly decodes one JSON job request:
 // unknown fields, trailing garbage, and oversized bodies are errors, so
@@ -105,6 +115,9 @@ func (req *JobRequest) Normalize() (*faults.Plan, error) {
 	}
 	if req.Client != "" && !nameRE.MatchString(req.Client) {
 		return nil, fmt.Errorf("client %q must match %s", req.Client, nameRE)
+	}
+	if req.DedupeKey != "" && !dedupeRE.MatchString(req.DedupeKey) {
+		return nil, fmt.Errorf("dedupe_key %q must match %s", req.DedupeKey, dedupeRE)
 	}
 	if req.FaultName != "" && !nameRE.MatchString(req.FaultName) {
 		return nil, fmt.Errorf("fault_name %q must match %s", req.FaultName, nameRE)
@@ -220,6 +233,13 @@ func newJob(id, client string, req JobRequest, plan *faults.Plan, timeout time.D
 // as the render produces them.
 func (j *job) Write(p []byte) (int, error) {
 	j.mu.Lock()
+	if j.state.terminal() {
+		// A watchdog-abandoned render keeps producing bytes after the job
+		// was failed; drop them so a terminal byte count — and with it the
+		// stream handler's "last chunk" detection — stays final.
+		j.mu.Unlock()
+		return len(p), nil
+	}
 	j.out = append(j.out, p...)
 	j.cond.Broadcast()
 	j.mu.Unlock()

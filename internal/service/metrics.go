@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/journal"
 )
 
 // durationBuckets are the job-latency histogram bounds in seconds.
@@ -44,6 +45,11 @@ type metrics struct {
 	jobs      map[string]uint64         // event -> count
 	running   int
 	durations map[string]*histogram // experiment id -> job latency
+
+	recovered     uint64 // jobs re-enqueued from the journal at boot
+	replayed      uint64 // journal records replayed at boot
+	watchdogKills uint64 // renders abandoned after ignoring cancellation
+	panicked      uint64 // renders that panicked and failed their job
 }
 
 func newMetrics() *metrics {
@@ -77,6 +83,30 @@ func (m *metrics) runningDelta(d int) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) recoveredJobs(n int) {
+	m.mu.Lock()
+	m.recovered += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) replayedRecords(n int) {
+	m.mu.Lock()
+	m.replayed += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) watchdogKill() {
+	m.mu.Lock()
+	m.watchdogKills++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobPanicked() {
+	m.mu.Lock()
+	m.panicked++
+	m.mu.Unlock()
+}
+
 func (m *metrics) observe(experiment string, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -88,12 +118,22 @@ func (m *metrics) observe(experiment string, seconds float64) {
 	h.observe(seconds)
 }
 
+// journalScrape is the journal's scrape-time snapshot, sampled by the
+// metrics handler: whether a journal is configured, whether the write
+// breaker has degraded the daemon to memory-only, and the journal's own
+// counters (taken under its mutex).
+type journalScrape struct {
+	configured bool
+	degraded   bool
+	stats      journal.Stats
+}
+
 // render writes one scrape in Prometheus text exposition format. The
-// queue depth and image-cache counters are sampled by the caller at
-// scrape time (the scheduler and cluster.ImageCache each snapshot their
-// state under their own mutex), so every gauge in one scrape is a
-// consistent read of its owner's state.
-func (m *metrics) render(w io.Writer, queueDepth int, img cluster.CacheStats) {
+// queue depth, image-cache, and journal counters are sampled by the
+// caller at scrape time (the scheduler, cluster.ImageCache, and journal
+// each snapshot their state under their own mutex), so every gauge in
+// one scrape is a consistent read of its owner's state.
+func (m *metrics) render(w io.Writer, queueDepth int, img cluster.CacheStats, jl journalScrape) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -111,7 +151,7 @@ func (m *metrics) render(w io.Writer, queueDepth int, img cluster.CacheStats) {
 		}
 	}
 
-	fmt.Fprintln(w, "# HELP abacusd_jobs_total Job lifecycle events (accepted, shed, rejected, dispatched, done, failed, cancelled).")
+	fmt.Fprintln(w, "# HELP abacusd_jobs_total Job lifecycle events (accepted, deduped, shed, rejected, dispatched, done, failed, cancelled).")
 	fmt.Fprintln(w, "# TYPE abacusd_jobs_total counter")
 	for _, ev := range sortedKeys(m.jobs) {
 		fmt.Fprintf(w, "abacusd_jobs_total{event=%q} %d\n", ev, m.jobs[ev])
@@ -139,6 +179,36 @@ func (m *metrics) render(w io.Writer, queueDepth int, img cluster.CacheStats) {
 		fmt.Fprintf(w, "abacusd_job_duration_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\n", exp, cum)
 		fmt.Fprintf(w, "abacusd_job_duration_seconds_sum{experiment=%q} %s\n", exp, formatFloat(h.sum))
 		fmt.Fprintf(w, "abacusd_job_duration_seconds_count{experiment=%q} %d\n", exp, h.total)
+	}
+
+	boolGauge := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for _, g := range []struct {
+		name, help, typ string
+		v               int64
+	}{
+		{"abacusd_jobs_recovered_total", "Jobs re-enqueued from the journal at boot.", "counter", int64(m.recovered)},
+		{"abacusd_jobs_panicked_total", "Renders that panicked; each failed only its own job.", "counter", int64(m.panicked)},
+		{"abacusd_watchdog_kills_total", "Renders abandoned by the stuck-job watchdog.", "counter", int64(m.watchdogKills)},
+		{"abacusd_journal_enabled", "1 when a durable job journal is configured.", "gauge", boolGauge(jl.configured)},
+		{"abacusd_journal_degraded", "1 when journal writes tripped the breaker and the daemon runs memory-only.", "gauge", boolGauge(jl.degraded)},
+		{"abacusd_journal_appends_total", "Journal records durably appended.", "counter", jl.stats.Appends},
+		{"abacusd_journal_append_errors_total", "Journal append failures.", "counter", jl.stats.AppendErrors},
+		{"abacusd_journal_fsyncs_total", "Journal fsyncs issued.", "counter", jl.stats.Fsyncs},
+		{"abacusd_journal_rotations_total", "Journal segment rotations.", "counter", jl.stats.Rotations},
+		{"abacusd_journal_compactions_total", "Journal compactions into a base segment.", "counter", jl.stats.Compactions},
+		{"abacusd_journal_replayed_records_total", "Journal records replayed at boot.", "counter", int64(m.replayed)},
+		{"abacusd_journal_truncated_bytes_total", "Torn or corrupt journal bytes discarded at open.", "counter", jl.stats.TruncatedBytes},
+		{"abacusd_journal_segments", "Journal segment files on disk.", "gauge", int64(jl.stats.Segments)},
+		{"abacusd_journal_bytes", "Journal bytes on disk.", "gauge", jl.stats.Bytes},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", g.name, g.typ)
+		fmt.Fprintf(w, "%s %d\n", g.name, g.v)
 	}
 
 	// Image cache and store counters: one consistent CacheStats copy per

@@ -72,6 +72,24 @@ func (s *scheduler) submit(j *job) error {
 	return nil
 }
 
+// force enqueues a journal-recovered job, bypassing the depth bound:
+// these jobs were admitted by the previous process, and recovery must
+// never shed work the service already promised — even when more jobs
+// were in flight at crash time than the restarted queue would admit.
+func (s *scheduler) force(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.queues[j.client]; !ok {
+		s.ring = append(s.ring, j.client)
+	}
+	s.queues[j.client] = append(s.queues[j.client], j)
+	s.queued++
+	s.cond.Signal()
+}
+
 // pop blocks until a job is available and returns the head job of the
 // client at the ring cursor, advancing the cursor one client per pop —
 // one lap of the ring serves every waiting client exactly once. Returns

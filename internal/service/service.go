@@ -26,14 +26,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/imagestore"
+	"repro/internal/journal"
+	"repro/internal/runner"
 )
 
 // Config shapes a Server. The zero value is usable: every field has a
@@ -65,6 +71,22 @@ type Config struct {
 	Images *cluster.ImageCache
 	// Store optionally backs Images with a persistent image store.
 	Store imagestore.Store
+	// Journal, when set, makes job lifecycle durable: every accept,
+	// dispatch, and terminal transition (with the result bytes for done
+	// jobs) is appended to the journal, and New replays it — completed
+	// jobs stay queryable with their journaled output, jobs that were
+	// accepted or running at crash time are re-enqueued. The caller owns
+	// the journal's lifetime and closes it after Close returns.
+	Journal *journal.Journal
+	// WatchdogGrace is how long a running render may ignore its
+	// cancelled context before the watchdog abandons it: the job fails,
+	// its suite is evicted so the wedge cannot poison later jobs, and
+	// the worker moves on (default 10s).
+	WatchdogGrace time.Duration
+	// Chaos, when set, injects the configured deterministic faults
+	// (crash-at-append, render panics, journal write failures); it is
+	// the seam the crash-recovery harness drives a real daemon with.
+	Chaos *Chaos
 
 	// gate, when set by in-package tests, runs after a job is dispatched
 	// and before its render starts — a seam for deterministically
@@ -99,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSuites < 1 {
 		c.MaxSuites = 8
 	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 10 * time.Second
+	}
 	if c.Images == nil {
 		c.Images = cluster.NewImageCache()
 	}
@@ -131,11 +156,27 @@ type Server struct {
 	nextID  int64
 	nextSeq int64
 	jobs    map[string]*job
-	order   []string // job ids, submission order, for retention
+	order   []string          // job ids, submission order, for retention
+	dedupe  map[string]string // dedupe key -> job id, for retained jobs
 	suites  map[suiteKey]*experiments.Suite
 	suiteQ  []suiteKey // suite keys, least recently used first
 	closed  bool
+
+	// Journal write breaker: journalFailureBudget consecutive append
+	// failures degrade the daemon to memory-only (visible in /metrics)
+	// rather than letting a sick disk block or fail dispatch.
+	jlMu       sync.Mutex
+	jlFails    int
+	jlDegraded bool
 }
+
+// journalFailureBudget is how many consecutive journal append failures
+// trip the degradation breaker.
+const journalFailureBudget = 3
+
+// compactSegments is the segment count past which a terminal transition
+// triggers journal compaction.
+const compactSegments = 3
 
 // New builds a Server and starts its workers. Callers must Close it.
 func New(cfg Config) *Server {
@@ -149,9 +190,16 @@ func New(cfg Config) *Server {
 		met:    newMetrics(),
 		images: cfg.Images,
 		jobs:   map[string]*job{},
+		dedupe: map[string]string{},
 		suites: map[suiteKey]*experiments.Suite{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.Chaos != nil && cfg.Journal != nil {
+		cfg.Chaos.arm(cfg.Journal)
+	}
+	// Replay before the workers start, so recovered jobs are re-enqueued
+	// (and recovered results queryable) before anything is dispatched.
+	s.recoverFromJournal()
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/jobs", s.handleSubmit)
 	s.route("GET /v1/jobs", s.handleList)
@@ -199,12 +247,261 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	for _, j := range s.sched.close() {
-		if j.finalize(StateCancelled, "server shutting down", time.Now()) {
-			s.met.jobEvent("cancelled")
-		}
+		// Journaled too: a gracefully-drained queue must not re-enqueue
+		// its cancelled jobs at the next boot.
+		s.finish(j, StateCancelled, "server shutting down", time.Now())
 	}
 	s.baseCancel()
 	s.wg.Wait()
+}
+
+// finish moves a job to a terminal state exactly once, counting the
+// event and journaling the transition (with the output bytes for done
+// jobs, so a restart can serve the result without recomputing it).
+func (s *Server) finish(j *job, state JobState, errMsg string, now time.Time) bool {
+	if !j.finalize(state, errMsg, now) {
+		return false
+	}
+	s.met.jobEvent(string(state))
+	rec := journal.Record{ID: j.id, Client: j.client, Key: j.req.DedupeKey,
+		Error: errMsg, UnixMilli: now.UnixMilli()}
+	switch state {
+	case StateDone:
+		rec.Kind = journal.Done
+		j.mu.Lock()
+		rec.Output = append([]byte(nil), j.out...)
+		j.mu.Unlock()
+	case StateFailed:
+		rec.Kind = journal.Failed
+	default:
+		rec.Kind = journal.Cancelled
+	}
+	s.journalAppend(rec)
+	s.maybeCompact(false)
+	return true
+}
+
+// journalAppend appends one record through the degradation breaker:
+// after journalFailureBudget consecutive failures the journal is marked
+// degraded and skipped — job flow never blocks on a sick journal disk —
+// and a later success (before the trip) resets the failure streak.
+func (s *Server) journalAppend(rec journal.Record) {
+	jl := s.cfg.Journal
+	if jl == nil || s.journalDegraded() {
+		return
+	}
+	err := jl.Append(rec)
+	s.jlMu.Lock()
+	defer s.jlMu.Unlock()
+	if err == nil {
+		s.jlFails = 0
+		return
+	}
+	s.jlFails++
+	if s.jlFails >= journalFailureBudget && !s.jlDegraded {
+		s.jlDegraded = true
+		log.Printf("abacusd: journal degraded to memory-only after %d consecutive append failures (last: %v)",
+			s.jlFails, err)
+	}
+}
+
+func (s *Server) journalDegraded() bool {
+	s.jlMu.Lock()
+	defer s.jlMu.Unlock()
+	return s.jlDegraded
+}
+
+// maybeCompact collapses journal history into one base segment holding
+// only the retained jobs (their accept plus, if terminal, their final
+// record). Unforced calls compact only once the journal has grown past
+// compactSegments segments; recovery forces one to fold the replayed
+// history so the journal cannot grow across restart cycles.
+func (s *Server) maybeCompact(force bool) {
+	jl := s.cfg.Journal
+	if jl == nil || s.journalDegraded() {
+		return
+	}
+	if !force && jl.Stats().Segments < compactSegments {
+		return
+	}
+	var live []journal.Record
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		reqBytes, err := json.Marshal(j.req)
+		if err != nil {
+			continue
+		}
+		j.mu.Lock()
+		state, errMsg := j.state, j.errMsg
+		out := append([]byte(nil), j.out...)
+		submitted, finished := j.submitted, j.finished
+		j.mu.Unlock()
+		live = append(live, journal.Record{Kind: journal.Accepted, ID: id, Client: j.client,
+			Key: j.req.DedupeKey, Request: reqBytes, UnixMilli: submitted.UnixMilli()})
+		var kind journal.Kind
+		switch state {
+		case StateDone:
+			kind = journal.Done
+		case StateFailed:
+			kind = journal.Failed
+		case StateCancelled:
+			kind = journal.Cancelled
+		default:
+			continue // queued or running: the accept alone re-enqueues it
+		}
+		rec := journal.Record{Kind: kind, ID: id, Client: j.client, Key: j.req.DedupeKey,
+			Error: errMsg, UnixMilli: finished.UnixMilli()}
+		if kind == journal.Done {
+			rec.Output = out
+		}
+		live = append(live, rec)
+	}
+	s.mu.Unlock()
+	if err := jl.Compact(live); err != nil {
+		log.Printf("abacusd: journal compaction failed: %v", err)
+	}
+}
+
+// recoverFromJournal rebuilds job state from the journal at boot:
+// terminal jobs are restored queryable with their journaled output and
+// error, and jobs that were accepted or running at crash time are
+// re-enqueued (bypassing the admission bound — they were already
+// admitted once). Replay is truncation-tolerant: a torn final record is
+// simply the crash point.
+func (s *Server) recoverFromJournal() {
+	jl := s.cfg.Journal
+	if jl == nil {
+		return
+	}
+	type replayedJob struct {
+		request   []byte
+		client    string
+		key       string
+		state     JobState // "" while non-terminal
+		errMsg    string
+		out       []byte
+		submitted int64
+		finished  int64
+	}
+	terminalOf := func(k journal.Kind) (JobState, bool) {
+		switch k {
+		case journal.Done:
+			return StateDone, true
+		case journal.Failed:
+			return StateFailed, true
+		case journal.Cancelled:
+			return StateCancelled, true
+		}
+		return "", false
+	}
+	byID := map[string]*replayedJob{}
+	var order []string
+	// A fast job can reach its terminal append before the submit handler
+	// journals the accept; park such records until the accept arrives.
+	orphans := map[string]journal.Record{}
+	rs, err := journal.Replay(jl.Dir(), func(r journal.Record) error {
+		switch r.Kind {
+		case journal.Accepted:
+			if _, dup := byID[r.ID]; dup {
+				return nil // duplicate accept: first wins
+			}
+			e := &replayedJob{request: r.Request, client: r.Client, key: r.Key, submitted: r.UnixMilli}
+			byID[r.ID] = e
+			order = append(order, r.ID)
+			if t, ok := orphans[r.ID]; ok {
+				delete(orphans, r.ID)
+				st, _ := terminalOf(t.Kind)
+				e.state, e.errMsg, e.out, e.finished = st, t.Error, t.Output, t.UnixMilli
+			}
+		case journal.Dispatched:
+			// Non-terminal: a dispatched-but-unfinished job re-enqueues
+			// exactly like a queued one.
+		default:
+			st, ok := terminalOf(r.Kind)
+			if !ok {
+				return nil // unknown kind from a future version: skip
+			}
+			e := byID[r.ID]
+			if e == nil {
+				orphans[r.ID] = r
+				return nil
+			}
+			if e.state == "" { // exactly-one-terminal: first wins
+				e.state, e.errMsg, e.out, e.finished = st, r.Error, r.Output, r.UnixMilli
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Printf("abacusd: journal replay failed, starting empty: %v", err)
+		return
+	}
+	s.met.replayedRecords(rs.Records)
+
+	now := time.Now()
+	requeued := 0
+	s.mu.Lock()
+	for _, id := range order {
+		e := byID[id]
+		var req JobRequest
+		if err := json.Unmarshal(e.request, &req); err != nil {
+			continue
+		}
+		plan, err := req.Normalize()
+		if err != nil {
+			continue
+		}
+		if req.Client == "" {
+			req.Client = e.client
+		}
+		var n int64
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.nextID {
+			s.nextID = n // ids stay unique across restarts
+		}
+		j := newJob(id, req.Client, req, plan, s.timeoutFor(&req), now)
+		if e.submitted > 0 {
+			j.submitted = time.UnixMilli(e.submitted)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if e.key != "" {
+			s.dedupe[e.key] = id
+		}
+		if e.state != "" {
+			j.out = append(j.out, e.out...)
+			fin := now
+			if e.finished > 0 {
+				fin = time.UnixMilli(e.finished)
+			}
+			j.finalize(e.state, e.errMsg, fin)
+			continue
+		}
+		s.sched.force(j)
+		requeued++
+	}
+	s.retainLocked()
+	s.mu.Unlock()
+	s.met.recoveredJobs(requeued)
+	if rs.Records > 0 {
+		s.maybeCompact(true)
+	}
+}
+
+// timeoutFor resolves a request's execution timeout against the
+// server's default and clamp.
+func (s *Server) timeoutFor(req *JobRequest) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return timeout
 }
 
 // statusRecorder captures the response code for request accounting.
@@ -279,20 +576,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Client = client
+	timeout := s.timeoutFor(req)
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
+	// Dedupe check and job creation share one critical section, so two
+	// concurrent submits with the same key cannot both create a job.
+	s.mu.Lock()
+	if req.DedupeKey != "" {
+		if id, ok := s.dedupe[req.DedupeKey]; ok {
+			if dup := s.jobs[id]; dup != nil {
+				s.mu.Unlock()
+				s.met.jobEvent("deduped")
+				w.Header().Set("Location", "/v1/jobs/"+id)
+				writeJSON(w, http.StatusOK, dup.status())
+				return
+			}
+			delete(s.dedupe, req.DedupeKey) // job aged out of retention
 		}
 	}
-
-	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	j := newJob(id, client, *req, plan, timeout, time.Now())
 	s.jobs[id] = j
+	if req.DedupeKey != "" {
+		s.dedupe[req.DedupeKey] = id
+	}
 	s.order = append(s.order, id)
 	s.retainLocked()
 	s.mu.Unlock()
@@ -311,6 +618,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.jobEvent("accepted")
+	// Journaled only once admission succeeded: a shed job must not be
+	// resurrected at the next boot. The worker may already be running
+	// the job; replay tolerates its records landing first.
+	if reqBytes, err := json.Marshal(*req); err == nil {
+		s.journalAppend(journal.Record{Kind: journal.Accepted, ID: id, Client: client,
+			Key: req.DedupeKey, Request: reqBytes, UnixMilli: j.submitted.UnixMilli()})
+	}
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -332,6 +646,9 @@ func (s *Server) retainLocked() {
 				j.mu.Unlock()
 				if terminal {
 					delete(s.jobs, id)
+					if k := j.req.DedupeKey; k != "" && s.dedupe[k] == id {
+						delete(s.dedupe, k)
+					}
 					excess--
 					continue
 				}
@@ -347,6 +664,11 @@ func (s *Server) retainLocked() {
 func (s *Server) dropJob(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		if k := j.req.DedupeKey; k != "" && s.dedupe[k] == id {
+			delete(s.dedupe, k)
+		}
+	}
 	delete(s.jobs, id)
 	for i, o := range s.order {
 		if o == id {
@@ -423,13 +745,30 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleStream writes the job's output bytes as the render produces
 // them and closes once the job is terminal; the final state travels in
 // the X-Abacus-Job-State trailer so a streaming client needs no
-// follow-up status call.
+// follow-up status call. ?offset=N skips the first N bytes, letting a
+// client that lost its connection resume where it stopped.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
+	sent := 0
+	if o := r.URL.Query().Get("offset"); o != "" {
+		n, err := strconv.Atoi(o)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "offset %q must be a non-negative integer", o)
+			return
+		}
+		sent = n
+	}
+	j.mu.Lock()
+	if sent > len(j.out) {
+		// Clamp a lying offset: j.out only grows, so clamping once keeps
+		// every later j.out[sent:] slice in bounds.
+		sent = len(j.out)
+	}
+	j.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("Trailer", "X-Abacus-Job-State, X-Abacus-Job-Error")
 	flusher, _ := w.(http.Flusher)
@@ -443,7 +782,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	})
 	defer stop()
 
-	sent := 0
 	for {
 		j.mu.Lock()
 		for sent == len(j.out) && !j.state.terminal() && r.Context().Err() == nil {
@@ -471,10 +809,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if final {
 			w.Header().Set("X-Abacus-Job-State", string(state))
-			w.Header().Set("X-Abacus-Job-Error", errMsg)
+			w.Header().Set("X-Abacus-Job-Error", headerSafe(errMsg))
 			return
 		}
 	}
+}
+
+// headerSafe flattens an error message for a header value: a panic
+// message can carry newlines, which are illegal in HTTP headers.
+func headerSafe(msg string) string {
+	msg = strings.ReplaceAll(msg, "\r", " ")
+	return strings.ReplaceAll(msg, "\n", " ")
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -497,9 +842,7 @@ func (s *Server) cancel(j *job) {
 	cancelRun := j.cancelRun
 	j.mu.Unlock()
 	if s.sched.remove(j) {
-		if j.finalize(StateCancelled, "cancelled by client", time.Now()) {
-			s.met.jobEvent("cancelled")
-		}
+		s.finish(j, StateCancelled, "cancelled by client", time.Now())
 		return
 	}
 	if cancelRun != nil {
@@ -513,7 +856,13 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.sched.depth(), s.images.Stats())
+	var js journalScrape
+	if jl := s.cfg.Journal; jl != nil {
+		js.configured = true
+		js.stats = jl.Stats()
+	}
+	js.degraded = s.journalDegraded()
+	s.met.render(w, s.sched.depth(), s.images.Stats(), js)
 }
 
 // worker is the dispatch loop: pop the next fairly-scheduled job and
@@ -558,14 +907,36 @@ func (s *Server) execute(j *job) {
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	s.met.jobEvent("dispatched")
+	s.journalAppend(journal.Record{Kind: journal.Dispatched, ID: j.id, Client: j.client,
+		UnixMilli: time.Now().UnixMilli()})
 	s.met.runningDelta(+1)
 	defer s.met.runningDelta(-1)
 
-	if s.cfg.gate != nil {
-		s.cfg.gate(ctx, j)
+	// The render runs in a child goroutine so this worker can watchdog
+	// it: a render that ignores its cancelled context past WatchdogGrace
+	// is abandoned — its suite evicted, its job failed, the goroutine
+	// left to unwind on its own — instead of wedging the worker forever.
+	renderErr := make(chan error, 1)
+	go func() { renderErr <- s.runJob(ctx, j) }()
+
+	var err error
+	wedged := false
+	select {
+	case err = <-renderErr:
+	case <-ctx.Done():
+		grace := time.NewTimer(s.cfg.WatchdogGrace)
+		select {
+		case err = <-renderErr:
+			grace.Stop()
+		case <-grace.C:
+			wedged = true
+			s.abandonSuite(j)
+			s.met.watchdogKill()
+			log.Printf("abacusd: watchdog abandoned job %s: render ignored cancellation for %s",
+				j.id, s.cfg.WatchdogGrace)
+		}
 	}
 
-	err := s.render(ctx, j)
 	now := time.Now()
 	j.mu.Lock()
 	cancelled := j.cancelled
@@ -574,9 +945,19 @@ func (s *Server) execute(j *job) {
 
 	var state JobState
 	var errMsg string
+	var pe *runner.PanicError
 	switch {
+	case wedged:
+		state, errMsg = StateFailed, fmt.Sprintf(
+			"watchdog: render ignored cancellation for %s past its deadline", s.cfg.WatchdogGrace)
 	case err == nil:
 		state = StateDone
+	case errors.As(err, &pe):
+		// The panic fails this job alone; the stack goes to the log, the
+		// value to the client.
+		state, errMsg = StateFailed, fmt.Sprintf("job panicked: %v", pe.Value)
+		s.met.jobPanicked()
+		log.Printf("abacusd: job %s panicked: %v\n%s", j.id, pe.Value, pe.Stack)
 	case cancelled:
 		state, errMsg = StateCancelled, "cancelled by client"
 	case s.baseCtx.Err() != nil:
@@ -586,11 +967,45 @@ func (s *Server) execute(j *job) {
 	default:
 		state, errMsg = StateFailed, err.Error()
 	}
-	if j.finalize(state, errMsg, now) {
-		s.met.jobEvent(string(state))
-		if state == StateDone {
-			s.met.observe(j.req.Experiment, now.Sub(started).Seconds())
+	if s.finish(j, state, errMsg, now) && state == StateDone {
+		s.met.observe(j.req.Experiment, now.Sub(started).Seconds())
+	}
+}
+
+// runJob is the render body executed in execute's child goroutine: the
+// test gate, chaos panic injection, and the render itself, with a
+// recover so a panic anywhere in the job fails the job, not the worker.
+// (The runner pool and flight cache recover their own goroutines; this
+// catches panics on the job's calling path.)
+func (s *Server) runJob(ctx context.Context, j *job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*runner.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &runner.PanicError{Value: r, Stack: debug.Stack()}
 		}
+	}()
+	if s.cfg.gate != nil {
+		s.cfg.gate(ctx, j)
+	}
+	if s.cfg.Chaos.takePanic(j.req.Experiment) {
+		panic(fmt.Sprintf("chaos: injected panic in render of %s", j.req.Experiment))
+	}
+	return s.render(ctx, j)
+}
+
+// abandonSuite evicts the job's suite from the pool so a wedged render
+// holding its single-flight cells cannot poison later jobs; the next
+// job with these knobs builds a fresh suite.
+func (s *Server) abandonSuite(j *job) {
+	key := suiteKeyFor(j)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.suites[key]; ok {
+		delete(s.suites, key)
+		s.suiteQ = dropSuiteKey(s.suiteQ, key)
 	}
 }
 
@@ -612,12 +1027,7 @@ func (s *Server) render(ctx context.Context, j *job) error {
 // LRU-evicting as needed. Suites share the server's image cache, so an
 // evicted suite costs repeat jobs its cell cache, not its images.
 func (s *Server) suiteFor(j *job) (*experiments.Suite, error) {
-	key := suiteKey{scale: j.req.Scale, devices: j.req.Devices}
-	if j.plan != nil {
-		// Keyed by the request's plan text (a preset name or the inline
-		// grammar), which determines the parsed plan.
-		key.fault = j.req.FaultName + "\x00" + j.req.FaultPlan
-	}
+	key := suiteKeyFor(j)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if suite, ok := s.suites[key]; ok {
@@ -640,6 +1050,17 @@ func (s *Server) suiteFor(j *job) (*experiments.Suite, error) {
 		// eviction only stops new jobs from finding it.
 	}
 	return suite, nil
+}
+
+// suiteKeyFor derives the suite pool key from a job's knobs. The fault
+// component is the request's plan text (a preset name or the inline
+// grammar), which determines the parsed plan.
+func suiteKeyFor(j *job) suiteKey {
+	key := suiteKey{scale: j.req.Scale, devices: j.req.Devices}
+	if j.plan != nil {
+		key.fault = j.req.FaultName + "\x00" + j.req.FaultPlan
+	}
+	return key
 }
 
 func dropSuiteKey(q []suiteKey, key suiteKey) []suiteKey {

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -38,6 +39,28 @@ type Service = service.Server
 
 // ServiceClient is a typed client for a Service's HTTP API.
 type ServiceClient = service.Client
+
+// Journal is the durable job journal a Service can run on: an
+// append-only, CRC-framed log of job lifecycle transitions that the
+// daemon replays at boot to recover accepted work across a crash.
+type Journal = journal.Journal
+
+// OpenJournal opens (creating if needed) the job journal at dir. Pass
+// it via ServiceConfig.Journal; the caller closes it after the service
+// has drained.
+func OpenJournal(dir string) (*Journal, error) {
+	return journal.Open(dir, journal.Options{})
+}
+
+// ServiceChaos is a deterministic service-level fault plan for crash
+// and degradation testing; see ParseServiceChaos for the spec grammar.
+type ServiceChaos = service.Chaos
+
+// ParseServiceChaos parses a chaos spec like
+// "kill-after=8,torn-tail,seed=1" (see internal/service.ParseChaos).
+func ParseServiceChaos(spec string) (*ServiceChaos, error) {
+	return service.ParseChaos(spec)
+}
 
 // NewService builds a serving daemon. Unless cfg names its own image
 // cache, the daemon shares the process-wide one, so a warm store or a
